@@ -1,0 +1,72 @@
+// Command langgen generates member and non-member words of the paper's
+// languages, for feeding to ringrun or to external tooling.
+//
+// Usage:
+//
+//	langgen -language wcw -n 21 -count 3
+//	langgen -language anbncn -n 30 -nonmember
+//	langgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ringlang/internal/lang"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "langgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("langgen", flag.ContinueOnError)
+	var (
+		language  = fs.String("language", "", "language name (see -list)")
+		n         = fs.Int("n", 12, "word length (ring size)")
+		count     = fs.Int("count", 1, "how many words to generate")
+		nonMember = fs.Bool("nonmember", false, "generate non-members instead of members")
+		seed      = fs.Int64("seed", 1, "random seed")
+		list      = fs.Bool("list", false, "list language names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range lang.CatalogNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	if *language == "" {
+		return fmt.Errorf("-language is required (try -list)")
+	}
+	l, err := lang.ByName(*language)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *count; i++ {
+		var word lang.Word
+		var ok bool
+		if *nonMember {
+			word, ok = l.GenerateNonMember(*n, rng)
+		} else {
+			word, ok = l.GenerateMember(*n, rng)
+		}
+		if !ok {
+			kind := "member"
+			if *nonMember {
+				kind = "non-member"
+			}
+			return fmt.Errorf("%s has no %s of length %d", l.Name(), kind, *n)
+		}
+		fmt.Println(word.String())
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command ringbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ringbench               # run every experiment (full sweep)
+//	ringbench -quick        # run every experiment with reduced sizes
+//	ringbench -e E3,E7      # run selected experiments
+//	ringbench -list         # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ringlang/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ringbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
+	var (
+		quick      = fs.Bool("quick", false, "use reduced sweep sizes")
+		list       = fs.Bool("list", false, "list experiment identifiers and exit")
+		experiment = fs.String("e", "", "comma-separated experiment identifiers (default: all)")
+		plot       = fs.Bool("plot", false, "render the headline log-log scaling figure and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := bench.SuiteFull
+	if *quick {
+		suite = bench.SuiteQuick
+	}
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+	if *plot {
+		sizes := []int{64, 128, 256, 512, 1024, 2048}
+		if *quick {
+			sizes = []int{32, 64, 128, 256}
+		}
+		figure, err := bench.ScalingFigure(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure: the three complexity classes of the paper (log-log; slopes 1, ~1.1, 2)")
+		fmt.Print(figure)
+		return nil
+	}
+	if *experiment == "" {
+		return bench.RunAll(os.Stdout, suite)
+	}
+	for _, id := range strings.Split(*experiment, ",") {
+		e, err := bench.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		table, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

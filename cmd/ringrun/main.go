@@ -1,0 +1,102 @@
+// Command ringrun executes one recognition algorithm on one word and prints
+// the verdict together with the exact bit accounting.
+//
+// Usage:
+//
+//	ringrun -algorithm three-counters -word 001122
+//	ringrun -algorithm regular-one-pass -language even-ones -word 0110
+//	ringrun -algorithm compare-wcw -word abcab -engine concurrent -trace
+//	ringrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+	"ringlang/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ringrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("ringrun", flag.ContinueOnError)
+	var (
+		algorithm  = fs.String("algorithm", "", "algorithm name (see -list)")
+		language   = fs.String("language", "", "language argument for algorithms that need one")
+		word       = fs.String("word", "", "the pattern on the ring (one letter per processor, leader first)")
+		engineName = fs.String("engine", "sequential", "engine: sequential or concurrent")
+		withTrace  = fs.Bool("trace", false, "print per-execution analysis (passes, token property, information states)")
+		list       = fs.Bool("list", false, "list algorithm and language names and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(out, "algorithms:")
+		for _, name := range core.AlgorithmNames() {
+			fmt.Fprintf(out, "  %s\n", name)
+		}
+		fmt.Fprintln(out, "languages:")
+		for _, name := range lang.CatalogNames() {
+			fmt.Fprintf(out, "  %s\n", name)
+		}
+		return nil
+	}
+	if *algorithm == "" || *word == "" {
+		return fmt.Errorf("both -algorithm and -word are required (try -list)")
+	}
+	rec, err := core.NewRecognizerByName(*algorithm, *language)
+	if err != nil {
+		return err
+	}
+	var engine ring.Engine
+	switch *engineName {
+	case "sequential":
+		engine = ring.NewSequentialEngine()
+	case "concurrent":
+		engine = ring.NewConcurrentEngine()
+	default:
+		return fmt.Errorf("unknown engine %q", *engineName)
+	}
+	w := lang.WordFromString(*word)
+	res, err := core.Run(rec, w, core.RunOptions{Engine: engine, RecordTrace: *withTrace})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "algorithm : %s\n", rec.Name())
+	fmt.Fprintf(out, "language  : %s\n", rec.Language().Name())
+	fmt.Fprintf(out, "word      : %q (n=%d)\n", w.String(), len(w))
+	fmt.Fprintf(out, "verdict   : %s (language says member=%v)\n", res.Verdict, rec.Language().Contains(w))
+	fmt.Fprintf(out, "messages  : %d\n", res.Stats.Messages)
+	fmt.Fprintf(out, "bits      : %d  (bits/n = %.2f, max message = %d bits)\n",
+		res.Stats.Bits, res.Stats.BitsPerProcessor(), res.Stats.MaxMessageBits)
+	if *withTrace {
+		report, err := trace.BuildReport(res, traceInputs(w))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "--- execution analysis ---")
+		if err := report.Render(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func traceInputs(w lang.Word) []string {
+	out := make([]string, len(w))
+	for i, letter := range w {
+		out[i] = string(letter)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package ringlang_test
+
+import (
+	"fmt"
+	"log"
+
+	"ringlang"
+)
+
+// ExampleRecognize runs the Theorem 1 one-pass algorithm for a regular
+// language on a six-processor ring and prints the exact bit cost.
+func ExampleRecognize() {
+	report, err := ringlang.Recognize("regular-one-pass", "even-ones",
+		ringlang.WordFromString("011010"), ringlang.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict=%s bits=%d messages=%d\n", report.Verdict, report.Bits, report.Messages)
+	// Output: verdict=reject bits=6 messages=6
+}
+
+// ExampleRecognize_nonRegular shows a non-regular language recognized with
+// counters: {0^k 1^k 2^k} costs Θ(n log n) bits, the minimum possible for any
+// non-regular language (Theorem 4).
+func ExampleRecognize_nonRegular() {
+	report, err := ringlang.Recognize("three-counters", "",
+		ringlang.WordFromString("000111222"), ringlang.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict=%s member=%v messages=%d\n", report.Verdict, report.Member, report.Messages)
+	// Output: verdict=accept member=true messages=9
+}
+
+// ExampleRecognize_quadratic shows the Section 7 note 1 language {wcw}: every
+// algorithm needs Ω(n²) bits, and the streaming comparison meets that bound.
+func ExampleRecognize_quadratic() {
+	accept, err := ringlang.Recognize("compare-wcw", "", ringlang.WordFromString("abcab"), ringlang.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reject, err := ringlang.Recognize("compare-wcw", "", ringlang.WordFromString("abcba"), ringlang.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wcw(abcab)=%s wcw(abcba)=%s\n", accept.Verdict, reject.Verdict)
+	// Output: wcw(abcab)=accept wcw(abcba)=reject
+}

@@ -1,0 +1,28 @@
+// Passes vs bits: reproduce Section 7 note 5. The parity-index language over
+// 2^k letters can be recognized in two passes with (2k+1)·n bits or in one
+// pass with (k+2^k−1)·n bits; the example sweeps k and shows the crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ringlang/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Section 7 note 5: trading passes for bits on a unidirectional ring")
+	fmt.Println()
+	table, err := bench.ExperimentE7([]int{1, 2, 3, 4, 5, 6, 7, 8}, 128)
+	if err != nil {
+		return err
+	}
+	return table.Render(os.Stdout)
+}

@@ -1,0 +1,203 @@
+package automata
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Determinize converts an NFA into an equivalent DFA by the subset
+// construction. The resulting DFA is complete over the NFA's alphabet (a
+// dead state is added if necessary).
+func Determinize(n *NFA) *DFA {
+	type subset struct {
+		key    string
+		states []State
+	}
+	keyOf := func(states []State) string {
+		var sb strings.Builder
+		for i, s := range states {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(int(s)))
+		}
+		return sb.String()
+	}
+
+	startSet := n.EpsilonClosure([]State{n.Start})
+	startKey := keyOf(startSet)
+
+	index := map[string]State{startKey: 0}
+	order := []subset{{key: startKey, states: startSet}}
+	type edge struct {
+		from State
+		sym  rune
+		to   State
+	}
+	var edges []edge
+
+	for i := 0; i < len(order); i++ {
+		cur := order[i]
+		for _, sym := range n.Alphabet {
+			nextSet := n.EpsilonClosure(n.Move(cur.states, sym))
+			k := keyOf(nextSet)
+			id, ok := index[k]
+			if !ok {
+				id = State(len(order))
+				index[k] = id
+				order = append(order, subset{key: k, states: nextSet})
+			}
+			edges = append(edges, edge{from: State(i), sym: sym, to: id})
+		}
+	}
+
+	d := NewDFA(len(order), n.Alphabet)
+	d.Start = 0
+	for i, sub := range order {
+		for _, s := range sub.states {
+			if n.Accepting[s] {
+				d.SetAccepting(State(i))
+				break
+			}
+		}
+	}
+	for _, e := range edges {
+		d.SetTransition(e.from, e.sym, e.to)
+	}
+	return d
+}
+
+// Minimize returns the minimal DFA equivalent to d, using partition
+// refinement (Hopcroft-style splitting on sorted signatures, which is
+// adequate for the automaton sizes in this repository). Unreachable states
+// are removed first.
+func Minimize(d *DFA) *DFA {
+	reach := d.Reachable()
+	// Remap reachable states to a dense range.
+	remap := make(map[State]State, len(reach))
+	var orderedReach []State
+	for s := State(0); int(s) < d.NumStates; s++ {
+		if reach[s] {
+			remap[s] = State(len(orderedReach))
+			orderedReach = append(orderedReach, s)
+		}
+	}
+
+	numReach := len(orderedReach)
+	// partition[i] is the block id of reachable state i (dense index).
+	partition := make([]int, numReach)
+	for i, old := range orderedReach {
+		if d.Accepting[old] {
+			partition[i] = 1
+		}
+	}
+	numBlocks := 2
+	// Degenerate cases: all accepting or none accepting.
+	if allSame(partition) {
+		numBlocks = 1
+		for i := range partition {
+			partition[i] = 0
+		}
+	}
+
+	for {
+		// Signature of a state: its block plus the blocks of its successors.
+		sigs := make([]string, numReach)
+		for i, old := range orderedReach {
+			var sb strings.Builder
+			sb.WriteString(strconv.Itoa(partition[i]))
+			for _, sym := range d.Alphabet {
+				to, _ := d.Step(old, sym)
+				sb.WriteByte('|')
+				sb.WriteString(strconv.Itoa(partition[remap[to]]))
+			}
+			sigs[i] = sb.String()
+		}
+		sigIndex := map[string]int{}
+		newPartition := make([]int, numReach)
+		for i, sig := range sigs {
+			id, ok := sigIndex[sig]
+			if !ok {
+				id = len(sigIndex)
+				sigIndex[sig] = id
+			}
+			newPartition[i] = id
+		}
+		newBlocks := len(sigIndex)
+		copy(partition, newPartition)
+		if newBlocks == numBlocks {
+			break
+		}
+		numBlocks = newBlocks
+	}
+
+	out := NewDFA(numBlocks, d.Alphabet)
+	out.Start = State(partition[remap[d.Start]])
+	for i, old := range orderedReach {
+		block := State(partition[i])
+		if d.Accepting[old] {
+			out.SetAccepting(block)
+		}
+		for _, sym := range d.Alphabet {
+			to, _ := d.Step(old, sym)
+			out.SetTransition(block, sym, State(partition[remap[to]]))
+		}
+	}
+	return out
+}
+
+func allSame(xs []int) bool {
+	for _, x := range xs {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two DFAs over the same alphabet accept the same
+// language, by checking that no reachable pair of the product automaton
+// disagrees on acceptance.
+func Equivalent(a, b *DFA) bool {
+	if !sameAlphabet(a.Alphabet, b.Alphabet) {
+		return false
+	}
+	type pair struct{ x, y State }
+	seen := map[pair]bool{}
+	frontier := []pair{{a.Start, b.Start}}
+	seen[frontier[0]] = true
+	for len(frontier) > 0 {
+		p := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if a.Accepting[p.x] != b.Accepting[p.y] {
+			return false
+		}
+		for _, sym := range a.Alphabet {
+			ax, _ := a.Step(p.x, sym)
+			by, _ := b.Step(p.y, sym)
+			np := pair{ax, by}
+			if !seen[np] {
+				seen[np] = true
+				frontier = append(frontier, np)
+			}
+		}
+	}
+	return true
+}
+
+func sameAlphabet(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append([]rune(nil), a...)
+	bc := append([]rune(nil), b...)
+	sort.Slice(ac, func(i, j int) bool { return ac[i] < ac[j] })
+	sort.Slice(bc, func(i, j int) bool { return bc[i] < bc[j] })
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// State identifies a DFA or NFA state. States are small non-negative
+// integers; the DFA start state may be any valid state.
+type State int
+
+// DFA is a deterministic finite automaton over an alphabet of runes. The
+// transition function must be total over Alphabet × States.
+type DFA struct {
+	// NumStates is the number of states; valid states are 0..NumStates-1.
+	NumStates int
+	// Alphabet lists the input symbols in a canonical (sorted) order.
+	Alphabet []rune
+	// Start is the initial state.
+	Start State
+	// Accepting marks the accepting states.
+	Accepting map[State]bool
+	// Trans maps (state, symbol) to the next state.
+	Trans map[TransKey]State
+}
+
+// TransKey is the key of a DFA transition table entry.
+type TransKey struct {
+	From   State
+	Symbol rune
+}
+
+// ErrInvalidDFA is wrapped by Validate for any structural problem.
+var ErrInvalidDFA = errors.New("automata: invalid DFA")
+
+// NewDFA allocates an empty DFA with the given number of states and
+// alphabet. Transitions and accepting states are filled in by the caller.
+func NewDFA(numStates int, alphabet []rune) *DFA {
+	sorted := make([]rune, len(alphabet))
+	copy(sorted, alphabet)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return &DFA{
+		NumStates: numStates,
+		Alphabet:  sorted,
+		Accepting: make(map[State]bool),
+		Trans:     make(map[TransKey]State, numStates*len(alphabet)),
+	}
+}
+
+// SetTransition records δ(from, symbol) = to.
+func (d *DFA) SetTransition(from State, symbol rune, to State) {
+	d.Trans[TransKey{From: from, Symbol: symbol}] = to
+}
+
+// SetAccepting marks a state as accepting.
+func (d *DFA) SetAccepting(s State) {
+	d.Accepting[s] = true
+}
+
+// Step returns δ(from, symbol). The boolean is false if the transition is
+// missing (which Validate would reject).
+func (d *DFA) Step(from State, symbol rune) (State, bool) {
+	to, ok := d.Trans[TransKey{From: from, Symbol: symbol}]
+	return to, ok
+}
+
+// Validate checks that the DFA is structurally sound: states in range, the
+// transition function total, and the start state valid.
+func (d *DFA) Validate() error {
+	if d.NumStates <= 0 {
+		return fmt.Errorf("%w: no states", ErrInvalidDFA)
+	}
+	if len(d.Alphabet) == 0 {
+		return fmt.Errorf("%w: empty alphabet", ErrInvalidDFA)
+	}
+	if d.Start < 0 || int(d.Start) >= d.NumStates {
+		return fmt.Errorf("%w: start state %d out of range", ErrInvalidDFA, d.Start)
+	}
+	for s := range d.Accepting {
+		if s < 0 || int(s) >= d.NumStates {
+			return fmt.Errorf("%w: accepting state %d out of range", ErrInvalidDFA, s)
+		}
+	}
+	for s := State(0); int(s) < d.NumStates; s++ {
+		for _, sym := range d.Alphabet {
+			to, ok := d.Step(s, sym)
+			if !ok {
+				return fmt.Errorf("%w: missing transition (%d, %q)", ErrInvalidDFA, s, sym)
+			}
+			if to < 0 || int(to) >= d.NumStates {
+				return fmt.Errorf("%w: transition (%d, %q) -> %d out of range", ErrInvalidDFA, s, sym, to)
+			}
+		}
+	}
+	return nil
+}
+
+// Run returns the state reached from Start after reading word, or an error if
+// a symbol is outside the alphabet.
+func (d *DFA) Run(word []rune) (State, error) {
+	s := d.Start
+	for i, sym := range word {
+		next, ok := d.Step(s, sym)
+		if !ok {
+			return 0, fmt.Errorf("automata: symbol %q at position %d has no transition from state %d", sym, i, s)
+		}
+		s = next
+	}
+	return s, nil
+}
+
+// Accepts reports whether the DFA accepts word. Symbols outside the alphabet
+// cause rejection.
+func (d *DFA) Accepts(word []rune) bool {
+	s, err := d.Run(word)
+	if err != nil {
+		return false
+	}
+	return d.Accepting[s]
+}
+
+// IsAccepting reports whether s is an accepting state.
+func (d *DFA) IsAccepting(s State) bool {
+	return d.Accepting[s]
+}
+
+// Clone returns a deep copy of the DFA.
+func (d *DFA) Clone() *DFA {
+	cp := NewDFA(d.NumStates, d.Alphabet)
+	cp.Start = d.Start
+	for s := range d.Accepting {
+		cp.Accepting[s] = true
+	}
+	for k, v := range d.Trans {
+		cp.Trans[k] = v
+	}
+	return cp
+}
+
+// Reachable returns the set of states reachable from Start.
+func (d *DFA) Reachable() map[State]bool {
+	seen := map[State]bool{d.Start: true}
+	frontier := []State{d.Start}
+	for len(frontier) > 0 {
+		s := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, sym := range d.Alphabet {
+			if to, ok := d.Step(s, sym); ok && !seen[to] {
+				seen[to] = true
+				frontier = append(frontier, to)
+			}
+		}
+	}
+	return seen
+}
+
+// HasSymbol reports whether sym belongs to the DFA's alphabet.
+func (d *DFA) HasSymbol(sym rune) bool {
+	for _, s := range d.Alphabet {
+		if s == sym {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package automata
+
+import "math/rand"
+
+// RandomDFA generates a pseudo-random complete DFA with the given number of
+// states over the alphabet. Roughly a third of the states are accepting (at
+// least one, unless numStates is zero). It is used by the property-based
+// tests to exercise minimization and the boolean constructions on automata
+// that were not hand-written.
+func RandomDFA(numStates int, alphabet []rune, rng *rand.Rand) *DFA {
+	if numStates < 1 {
+		numStates = 1
+	}
+	d := NewDFA(numStates, alphabet)
+	d.Start = State(rng.Intn(numStates))
+	for s := 0; s < numStates; s++ {
+		if rng.Intn(3) == 0 {
+			d.SetAccepting(State(s))
+		}
+		for _, sym := range d.Alphabet {
+			d.SetTransition(State(s), sym, State(rng.Intn(numStates)))
+		}
+	}
+	if len(d.Accepting) == 0 {
+		d.SetAccepting(State(rng.Intn(numStates)))
+	}
+	return d
+}
+
+// RandomWordOver returns a uniformly random word of the given length over the
+// alphabet (a convenience for automata-level property tests that do not want
+// to depend on the lang package).
+func RandomWordOver(alphabet []rune, length int, rng *rand.Rand) []rune {
+	w := make([]rune, length)
+	for i := range w {
+		w[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return w
+}

@@ -1,0 +1,290 @@
+package automata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The regular-expression compiler supports the operators needed by the test
+// languages in this repository:
+//
+//	a b 0 1 ...   literal symbols (any rune except the metacharacters)
+//	(e)           grouping
+//	e1|e2         alternation
+//	e1e2          concatenation (juxtaposition)
+//	e*            Kleene star
+//	e+            one or more
+//	e?            optional
+//
+// The compiler produces an NFA via the Thompson construction; callers usually
+// follow with Determinize and Minimize.
+
+// ErrBadRegex is wrapped by CompileRegex for any syntax error.
+var ErrBadRegex = errors.New("automata: bad regular expression")
+
+// regexParser is a recursive-descent parser over the expression runes.
+type regexParser struct {
+	input []rune
+	pos   int
+}
+
+// regexNode is a node of the regex syntax tree.
+type regexNode struct {
+	kind     regexKind
+	sym      rune
+	children []*regexNode
+}
+
+type regexKind int
+
+const (
+	kindLiteral regexKind = iota + 1
+	kindConcat
+	kindAlt
+	kindStar
+	kindPlus
+	kindOpt
+	kindEmpty // matches the empty word
+)
+
+// CompileRegex compiles the expression into an NFA whose alphabet is the set
+// of literal symbols appearing in the expression, plus any extra symbols
+// given (so the automaton can later be completed over a larger alphabet).
+func CompileRegex(expr string, extraAlphabet ...rune) (*NFA, error) {
+	p := &regexParser{input: []rune(expr)}
+	root, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("%w: unexpected %q at position %d", ErrBadRegex, p.input[p.pos], p.pos)
+	}
+	alphabet := map[rune]bool{}
+	collectSymbols(root, alphabet)
+	for _, r := range extraAlphabet {
+		alphabet[r] = true
+	}
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("%w: expression has no symbols and no alphabet was supplied", ErrBadRegex)
+	}
+	syms := make([]rune, 0, len(alphabet))
+	for r := range alphabet {
+		syms = append(syms, r)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	b := &thompsonBuilder{alphabet: syms}
+	start, accept := b.build(root)
+	nfa := NewNFA(b.next, syms)
+	nfa.Start = start
+	nfa.SetAccepting(accept)
+	for _, tr := range b.edges {
+		nfa.AddTransition(tr.from, tr.sym, tr.to)
+	}
+	return nfa, nil
+}
+
+// CompileRegexDFA compiles, determinizes and minimizes the expression.
+func CompileRegexDFA(expr string, extraAlphabet ...rune) (*DFA, error) {
+	nfa, err := CompileRegex(expr, extraAlphabet...)
+	if err != nil {
+		return nil, err
+	}
+	return Minimize(Determinize(nfa)), nil
+}
+
+func collectSymbols(n *regexNode, into map[rune]bool) {
+	if n == nil {
+		return
+	}
+	if n.kind == kindLiteral {
+		into[n.sym] = true
+	}
+	for _, c := range n.children {
+		collectSymbols(c, into)
+	}
+}
+
+// parseAlt parses e1|e2|...
+func (p *regexParser) parseAlt() (*regexNode, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = &regexNode{kind: kindAlt, children: []*regexNode{left, right}}
+	}
+	return left, nil
+}
+
+// parseConcat parses a juxtaposition of factors.
+func (p *regexParser) parseConcat() (*regexNode, error) {
+	var parts []*regexNode
+	for {
+		r := p.peek()
+		if r == 0 || r == ')' || r == '|' {
+			break
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, f)
+	}
+	switch len(parts) {
+	case 0:
+		return &regexNode{kind: kindEmpty}, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return &regexNode{kind: kindConcat, children: parts}, nil
+	}
+}
+
+// parseFactor parses an atom followed by optional postfix operators.
+func (p *regexParser) parseFactor() (*regexNode, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = &regexNode{kind: kindStar, children: []*regexNode{atom}}
+		case '+':
+			p.pos++
+			atom = &regexNode{kind: kindPlus, children: []*regexNode{atom}}
+		case '?':
+			p.pos++
+			atom = &regexNode{kind: kindOpt, children: []*regexNode{atom}}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *regexParser) parseAtom() (*regexNode, error) {
+	r := p.peek()
+	switch r {
+	case 0:
+		return nil, fmt.Errorf("%w: unexpected end of expression", ErrBadRegex)
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("%w: missing ')' at position %d", ErrBadRegex, p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case ')', '|', '*', '+', '?':
+		return nil, fmt.Errorf("%w: unexpected %q at position %d", ErrBadRegex, r, p.pos)
+	case '\\':
+		p.pos++
+		esc := p.peek()
+		if esc == 0 {
+			return nil, fmt.Errorf("%w: dangling escape", ErrBadRegex)
+		}
+		p.pos++
+		return &regexNode{kind: kindLiteral, sym: esc}, nil
+	default:
+		p.pos++
+		return &regexNode{kind: kindLiteral, sym: r}, nil
+	}
+}
+
+func (p *regexParser) peek() rune {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+// thompsonBuilder accumulates NFA fragments.
+type thompsonBuilder struct {
+	alphabet []rune
+	next     int
+	edges    []thompsonEdge
+}
+
+type thompsonEdge struct {
+	from State
+	sym  rune
+	to   State
+}
+
+func (b *thompsonBuilder) newState() State {
+	s := State(b.next)
+	b.next++
+	return s
+}
+
+func (b *thompsonBuilder) addEdge(from State, sym rune, to State) {
+	b.edges = append(b.edges, thompsonEdge{from: from, sym: sym, to: to})
+}
+
+// build returns the (start, accept) states of the fragment for node n.
+func (b *thompsonBuilder) build(n *regexNode) (State, State) {
+	switch n.kind {
+	case kindEmpty:
+		s, a := b.newState(), b.newState()
+		b.addEdge(s, Epsilon, a)
+		return s, a
+	case kindLiteral:
+		s, a := b.newState(), b.newState()
+		b.addEdge(s, n.sym, a)
+		return s, a
+	case kindConcat:
+		start, accept := b.build(n.children[0])
+		for _, c := range n.children[1:] {
+			cs, ca := b.build(c)
+			b.addEdge(accept, Epsilon, cs)
+			accept = ca
+		}
+		return start, accept
+	case kindAlt:
+		s, a := b.newState(), b.newState()
+		for _, c := range n.children {
+			cs, ca := b.build(c)
+			b.addEdge(s, Epsilon, cs)
+			b.addEdge(ca, Epsilon, a)
+		}
+		return s, a
+	case kindStar:
+		s, a := b.newState(), b.newState()
+		cs, ca := b.build(n.children[0])
+		b.addEdge(s, Epsilon, cs)
+		b.addEdge(s, Epsilon, a)
+		b.addEdge(ca, Epsilon, cs)
+		b.addEdge(ca, Epsilon, a)
+		return s, a
+	case kindPlus:
+		s, a := b.newState(), b.newState()
+		cs, ca := b.build(n.children[0])
+		b.addEdge(s, Epsilon, cs)
+		b.addEdge(ca, Epsilon, cs)
+		b.addEdge(ca, Epsilon, a)
+		return s, a
+	case kindOpt:
+		s, a := b.newState(), b.newState()
+		cs, ca := b.build(n.children[0])
+		b.addEdge(s, Epsilon, cs)
+		b.addEdge(s, Epsilon, a)
+		b.addEdge(ca, Epsilon, a)
+		return s, a
+	default:
+		// Unreachable by construction of the parser.
+		s, a := b.newState(), b.newState()
+		b.addEdge(s, Epsilon, a)
+		return s, a
+	}
+}

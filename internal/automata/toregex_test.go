@@ -1,0 +1,87 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, d *DFA) *DFA {
+	t.Helper()
+	expr, err := ToRegex(d)
+	if err != nil {
+		t.Fatalf("ToRegex: %v", err)
+	}
+	back, err := CompileRegexDFA(expr, d.Alphabet...)
+	if err != nil {
+		t.Fatalf("recompile %q: %v", expr, err)
+	}
+	return back
+}
+
+func TestToRegexRoundTripHandwrittenDFAs(t *testing.T) {
+	mod3, err := NewModCounterDFA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	substr, err := NewContainsSubstringDFA([]rune{'a', 'b'}, []rune("aba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenMod, err := NewLengthModDFA([]rune{'a', 'b'}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*DFA{NewParityDFA(), mod3, substr, lenMod} {
+		back := roundTrip(t, d)
+		if !Equivalent(d, back) {
+			t.Errorf("round trip changed the language of a %d-state DFA", d.NumStates)
+		}
+	}
+}
+
+func TestToRegexRoundTripRandomDFAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		d := RandomDFA(1+rng.Intn(5), []rune{'a', 'b'}, rng)
+		if IsEmptyLanguage(d) {
+			if _, err := ToRegex(d); err == nil {
+				t.Error("expected an error for the empty language")
+			}
+			continue
+		}
+		back := roundTrip(t, d)
+		if !Equivalent(d, back) {
+			t.Errorf("trial %d: round trip changed the language", trial)
+		}
+	}
+}
+
+func TestToRegexEscapesMetacharacters(t *testing.T) {
+	// A DFA over the Dyck alphabet {(, )} accepting words of even length.
+	d, err := NewLengthModDFA([]rune{'(', ')'}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, d)
+	if !Equivalent(d, back) {
+		t.Error("round trip over a metacharacter alphabet changed the language")
+	}
+}
+
+func TestToRegexEmptyLanguage(t *testing.T) {
+	d := NewDFA(1, []rune{'a'})
+	d.Start = 0
+	d.SetTransition(0, 'a', 0)
+	if _, err := ToRegex(d); err == nil {
+		t.Error("the empty language should be rejected")
+	}
+}
+
+func TestToRegexInvalidDFA(t *testing.T) {
+	d := NewDFA(2, []rune{'a'})
+	d.Start = 0
+	// missing transitions
+	if _, err := ToRegex(d); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,12 @@
+// Package bench is the experiment harness: it generates workloads, sweeps
+// ring sizes and parameters, runs the core recognizers on the ring engine,
+// and renders one table per experiment (E1–E10 in DESIGN.md, plus the design
+// ablations A1–A3). The cmd/ringbench tool and the repository-root benchmarks
+// are thin wrappers around this package, so every number in EXPERIMENTS.md
+// can be regenerated from one place.
+//
+// The paper is a theory paper with no numeric tables of its own; the
+// "shape" each experiment must reproduce is the asymptotic claim of the
+// corresponding theorem or remark, which the tables expose through normalized
+// columns (bits/n, bits/(n log n), bits/n²) and log-log slope fits.
+package bench

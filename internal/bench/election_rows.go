@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"ringlang/internal/election"
+)
+
+// appendElectionRows fills the E12 table: every protocol on the descending
+// (Chang–Roberts-adversarial) identifier arrangement.
+func appendElectionRows(t *Table, sizes []int) error {
+	protocols := []election.Protocol{
+		election.ChangRoberts,
+		election.DolevKlaweRodeh,
+		election.HirschbergSinclair,
+	}
+	for _, p := range protocols {
+		for _, n := range sizes {
+			out, err := election.Run(p, election.DescendingIDs(n), nil)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p.String(), fmtInt(n), fmtInt(out.Stats.Messages), fmtInt(out.Stats.Bits),
+				fmtFloat(float64(out.Stats.Messages)/(float64(n)*logBase2(n))))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"descending identifiers are the Chang–Roberts worst case; both O(n log n) protocols stay flat on the normalized column")
+	return nil
+}

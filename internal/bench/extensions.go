@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+)
+
+// ExperimentE11 covers the extension workloads built on top of the paper's
+// toolkit: the Dyck language recognized with a single depth counter, and the
+// aggregate function computations (max / sum / count) the introduction's
+// "computing a function" framing refers to. All of them sit at the Θ(n log n)
+// floor of the non-regular class, like the paper's counting examples.
+func ExperimentE11(sizes []int) (*Table, error) {
+	t := &Table{
+		ID:         "E11",
+		Title:      "Extensions: more workloads at the n·log n floor",
+		PaperClaim: "counter-based algorithms (one δ-coded counter per pass) stay at Θ(n log n) bits for any non-regular predicate they decide or function they compute",
+		Columns:    []string{"workload", "n", "bits", "bits/(n·log n)", "messages"},
+	}
+
+	rec := core.NewBalancedCounter()
+	points, err := MeasureRecognizer(rec, sizes, MeasureOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		t.AddRow("balanced-counter (dyck)", fmtInt(p.N), fmtInt(p.Bits), perNLogN(p.Bits, p.N), fmtInt(p.Messages))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("balanced-counter: log-log slope = %.3f", FitLogLogSlope(points)))
+
+	for _, kind := range []core.AggregateKind{core.AggregateMax, core.AggregateSum, core.AggregateCountNonZero} {
+		var aggPoints []Point
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(DefaultSeed + int64(n)))
+			word := randomDigitWord(n, rng)
+			res, err := core.ComputeAggregate(kind, word, nil)
+			if err != nil {
+				return nil, err
+			}
+			want, err := core.ReferenceAggregate(kind, word)
+			if err != nil {
+				return nil, err
+			}
+			if res.Value != want {
+				return nil, fmt.Errorf("bench: aggregate %s value %d, reference %d", kind, res.Value, want)
+			}
+			p := Point{N: n, Bits: res.Stats.Bits, Messages: res.Stats.Messages}
+			aggPoints = append(aggPoints, p)
+			t.AddRow("aggregate "+kind.String(), fmtInt(p.N), fmtInt(p.Bits), perNLogN(p.Bits, p.N), fmtInt(p.Messages))
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("aggregate %s: log-log slope = %.3f", kind, FitLogLogSlope(aggPoints)))
+	}
+	return t, nil
+}
+
+// ExperimentE12 measures election across all three protocols (including the
+// bidirectional Hirschberg–Sinclair) on worst-case identifier arrangements;
+// it extends E9 with the bidirectional substrate.
+func ExperimentE12(sizes []int) (*Table, error) {
+	t := &Table{
+		ID:         "E12",
+		Title:      "Extensions: bidirectional election (Hirschberg–Sinclair) vs unidirectional",
+		PaperClaim: "O(n log n) messages suffice for election on either ring orientation",
+		Columns:    []string{"protocol", "n", "messages", "bits", "msgs/(n·log n)"},
+	}
+	if err := appendElectionRows(t, sizes); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// randomDigitWord produces a word of decimal digits for the aggregate runs.
+func randomDigitWord(n int, rng *rand.Rand) lang.Word {
+	w := make(lang.Word, n)
+	for i := range w {
+		w[i] = rune('0' + rng.Intn(10))
+	}
+	return w
+}
+
+// logBase2 is a local helper for the election table.
+func logBase2(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// DefaultSeed makes every sweep reproducible; the workload generators are
+// seeded per (experiment, size) so adding sizes does not perturb existing
+// rows.
+const DefaultSeed int64 = 20260616
+
+// WordKind selects which kind of word a sweep feeds the recognizer.
+type WordKind int
+
+const (
+	// MemberWords feeds member words (accepting runs).
+	MemberWords WordKind = iota + 1
+	// NonMemberWords feeds near-miss non-members (rejecting runs).
+	NonMemberWords
+	// RandomWords feeds uniformly random words over the alphabet.
+	RandomWords
+)
+
+// MeasureOptions configures a sweep.
+type MeasureOptions struct {
+	// Kind selects member / non-member / random inputs (default member).
+	Kind WordKind
+	// Engine defaults to the deterministic sequential engine.
+	Engine ring.Engine
+	// Seed defaults to DefaultSeed.
+	Seed int64
+	// Window is how far above the requested size the generator may go when
+	// the language has no word of exactly that size (default 8).
+	Window int
+}
+
+func (o MeasureOptions) normalize() MeasureOptions {
+	if o.Kind == 0 {
+		o.Kind = MemberWords
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	return o
+}
+
+// wordForSize produces the input word for one sweep point.
+func wordForSize(language lang.Language, n int, kind WordKind, window int, rng *rand.Rand) (lang.Word, error) {
+	switch kind {
+	case NonMemberWords:
+		for d := 0; d <= window; d++ {
+			if w, ok := language.GenerateNonMember(n+d, rng); ok {
+				return w, nil
+			}
+		}
+		return nil, fmt.Errorf("bench: %s has no non-member near length %d", language.Name(), n)
+	case RandomWords:
+		return lang.RandomWord(language.Alphabet(), n, rng), nil
+	default:
+		w, _, err := lang.MemberOrSkip(language, n, window, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s has no member near length %d: %w", language.Name(), n, err)
+		}
+		return w, nil
+	}
+}
+
+// MeasureRecognizer runs one recognizer across the ring sizes and returns one
+// Point per size. Verdicts are cross-checked against the language.
+func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([]Point, error) {
+	opts = opts.normalize()
+	points := make([]Point, 0, len(sizes))
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+		word, err := wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
+		if err != nil {
+			return nil, err
+		}
+		var res *ring.Result
+		if opts.Kind == RandomWords {
+			res, err = core.Run(rec, word, core.RunOptions{Engine: opts.Engine})
+		} else {
+			res, err = core.Check(rec, word, core.RunOptions{Engine: opts.Engine})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
+		}
+		points = append(points, Point{N: len(word), Bits: res.Stats.Bits, Messages: res.Stats.Messages})
+	}
+	return points, nil
+}
+
+// MeasureOne runs a recognizer on a single generated word and returns the
+// point, the engine result and the word itself (used by experiments that need
+// traces and per-processor inputs).
+func MeasureOne(rec core.Recognizer, n int, opts MeasureOptions, recordTrace bool) (Point, *ring.Result, lang.Word, error) {
+	opts = opts.normalize()
+	rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+	word, err := wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
+	if err != nil {
+		return Point{}, nil, nil, err
+	}
+	res, err := core.Run(rec, word, core.RunOptions{Engine: opts.Engine, RecordTrace: recordTrace})
+	if err != nil {
+		return Point{}, nil, nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
+	}
+	return Point{N: len(word), Bits: res.Stats.Bits, Messages: res.Stats.Messages}, res, word, nil
+}
+
+// InputsForTrace renders per-processor inputs for information-state analysis
+// of a run on the given word.
+func InputsForTrace(word lang.Word) []string {
+	out := make([]string, len(word))
+	for i, letter := range word {
+		out[i] = string(letter)
+	}
+	return out
+}

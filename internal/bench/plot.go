@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+)
+
+// Series is one named curve of a plot (e.g. one algorithm across ring sizes).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// PlotLogLog renders an ASCII log-log scatter plot of bits against n, one
+// marker letter per series. It is the repository's stand-in for the figures a
+// systems paper would carry: the slope of each point cloud is the scaling
+// exponent the corresponding claim is about (1 for linear, ≈1.1 for n·log n,
+// 2 for quadratic).
+func PlotLogLog(series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.N < 1 || p.Bits < 1 {
+				continue
+			}
+			x, y := math.Log10(float64(p.N)), math.Log10(float64(p.Bits))
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			any = true
+		}
+	}
+	if !any {
+		return "(no data to plot)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marker := func(i int) byte { return byte('a' + i%26) }
+	for i, s := range series {
+		for _, p := range s.Points {
+			if p.N < 1 || p.Bits < 1 {
+				continue
+			}
+			x := (math.Log10(float64(p.N)) - minX) / (maxX - minX)
+			y := (math.Log10(float64(p.Bits)) - minY) / (maxY - minY)
+			col := int(math.Round(x * float64(width-1)))
+			row := height - 1 - int(math.Round(y*float64(height-1)))
+			grid[row][col] = marker(i)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "log10(bits) %.1f..%.1f  vs  log10(n) %.1f..%.1f\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "\n")
+	legend := make([]string, 0, len(series))
+	for i, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marker(i), s.Name))
+	}
+	sort.Strings(legend)
+	sb.WriteString("legend: " + strings.Join(legend, "  ") + "\n")
+	return sb.String()
+}
+
+// ScalingFigure builds the repository's headline "figure": the linear,
+// n·log n and quadratic classes on one log-log plot (regular one-pass,
+// counting, and the wcw comparison), regenerated from live measurements.
+func ScalingFigure(sizes []int) (string, error) {
+	type workload struct {
+		name string
+		run  func() ([]Point, error)
+	}
+	var series []Series
+	regLangs, err := regularForFigure()
+	if err != nil {
+		return "", err
+	}
+	workloads := []workload{
+		{name: "regular-one-pass (Θ(n))", run: func() ([]Point, error) {
+			return MeasureRecognizer(regLangs, sizes, MeasureOptions{Kind: RandomWords})
+		}},
+		{name: "count (Θ(n log n))", run: func() ([]Point, error) {
+			return MeasureRecognizer(squareCountForFigure(), sizes, MeasureOptions{Kind: RandomWords})
+		}},
+		{name: "compare-wcw (Θ(n²))", run: func() ([]Point, error) {
+			odd := make([]int, len(sizes))
+			for i, n := range sizes {
+				odd[i] = n + 1 - n%2
+			}
+			return MeasureRecognizer(wcwForFigure(), odd, MeasureOptions{})
+		}},
+	}
+	for _, wl := range workloads {
+		points, err := wl.run()
+		if err != nil {
+			return "", err
+		}
+		series = append(series, Series{Name: wl.name, Points: points})
+	}
+	return PlotLogLog(series, 64, 18), nil
+}
+
+// regularForFigure, squareCountForFigure and wcwForFigure pick the three
+// representatives of the linear, n·log n and quadratic classes.
+func regularForFigure() (core.Recognizer, error) {
+	language, err := lang.NewRegularFromRegex("ends-abb", "(a|b)*abb")
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRegularOnePass(language), nil
+}
+
+func squareCountForFigure() core.Recognizer {
+	return core.NewSquareCount()
+}
+
+func wcwForFigure() core.Recognizer {
+	return core.NewCompareWcW()
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotLogLog(t *testing.T) {
+	series := []Series{
+		{Name: "linear", Points: []Point{{N: 10, Bits: 10}, {N: 100, Bits: 100}, {N: 1000, Bits: 1000}}},
+		{Name: "quadratic", Points: []Point{{N: 10, Bits: 100}, {N: 100, Bits: 10000}, {N: 1000, Bits: 1000000}}},
+	}
+	out := PlotLogLog(series, 40, 12)
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "a=linear") || !strings.Contains(out, "b=quadratic") {
+		t.Errorf("plot missing legend entries:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 14 {
+		t.Error("plot should contain the grid rows")
+	}
+	if got := PlotLogLog(nil, 40, 12); !strings.Contains(got, "no data") {
+		t.Errorf("empty plot = %q", got)
+	}
+	// Degenerate sizes are clamped rather than panicking.
+	if out := PlotLogLog(series, 1, 1); out == "" {
+		t.Error("clamped plot should still render")
+	}
+}
+
+func TestScalingFigure(t *testing.T) {
+	figure, err := ScalingFigure([]int{32, 64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"regular-one-pass", "count", "compare-wcw", "legend:"} {
+		if !strings.Contains(figure, want) {
+			t.Errorf("figure missing %q", want)
+		}
+	}
+}

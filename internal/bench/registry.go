@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Suite selects how large the sweeps are.
+type Suite int
+
+const (
+	// SuiteFull uses the default sizes from DESIGN.md / EXPERIMENTS.md.
+	SuiteFull Suite = iota + 1
+	// SuiteQuick uses reduced sizes for smoke tests and CI.
+	SuiteQuick
+)
+
+// Experiment couples an identifier with the function that produces its table.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Suite) (*Table, error)
+}
+
+// scale halves a size sweep (and caps it) for the quick suite.
+func scale(sizes []int, suite Suite) []int {
+	if suite != SuiteQuick {
+		return sizes
+	}
+	out := make([]int, 0, len(sizes))
+	for _, n := range sizes {
+		if n <= 256 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, sizes[0])
+	}
+	return out
+}
+
+// Experiments returns the full registry, in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "E1", Description: "regular languages are O(n) bits (Theorem 1/6)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE1(scale(LinearSizes, s)) }},
+		{ID: "E2", Description: "non-regular languages are Ω(n log n) bits (Theorem 4/5)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE2(scale(LinearSizes, s)) }},
+		{ID: "E2b", Description: "information-state counting (Theorems 2/4 machinery)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE2b(scale(TraceSizes, s)) }},
+		{ID: "E3", Description: "{wcw} is Θ(n²) bits (Section 7 note 1)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE3(scale(QuadraticSizes, s)) }},
+		{ID: "E4", Description: "{0^k1^k2^k} is O(n log n) bits (Section 7 note 2)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE4(scale(LinearSizes, s)) }},
+		{ID: "E5", Description: "the Θ(g(n)) hierarchy (Section 7 note 3)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE5(scale(HierarchySizes, s)) }},
+		{ID: "E6", Description: "known n removes the n log n term (Section 7 note 4)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE6(scale(HierarchySizes, s)) }},
+		{ID: "E7", Description: "passes vs bits trade-off (Section 7 note 5)",
+			Run: func(s Suite) (*Table, error) {
+				ks := []int{1, 2, 3, 4, 5, 6, 7, 8}
+				n := ParityRingSize
+				if s == SuiteQuick {
+					ks = []int{1, 2, 3, 4}
+					n = 64
+				}
+				return ExperimentE7(ks, n)
+			}},
+		{ID: "E8", Description: "line simulation overhead (Theorem 7 Stage 1)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE8(scale(HierarchySizes, s)) }},
+		{ID: "E9", Description: "leader election substrate ([DKR])",
+			Run: func(s Suite) (*Table, error) { return ExperimentE9(scale(HierarchySizes, s)) }},
+		{ID: "E10", Description: "TM → ring transformation (Section 8)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE10(scale(TMSizes, s)) }},
+		{ID: "E11", Description: "extensions: Dyck + aggregate functions at the n log n floor",
+			Run: func(s Suite) (*Table, error) { return ExperimentE11(scale(LinearSizes, s)) }},
+		{ID: "E12", Description: "extensions: bidirectional election (Hirschberg–Sinclair)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE12(scale(HierarchySizes, s)) }},
+		{ID: "A1", Description: "ablation: counter encodings",
+			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
+		{ID: "A2", Description: "ablation: DFA minimization",
+			Run: func(s Suite) (*Table, error) { return ExperimentA2(scale(HierarchySizes, s)) }},
+		{ID: "A3", Description: "ablation: engine accounting equivalence",
+			Run: func(s Suite) (*Table, error) { return ExperimentA3(scale([]int{33, 99, 255}, s)) }},
+	}
+}
+
+// IDs returns every experiment identifier in order.
+func IDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll runs every experiment and renders the tables to w.
+func RunAll(w io.Writer, suite Suite) error {
+	for _, e := range Experiments() {
+		table, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		if err := table.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package bits
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadUint(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+	}{
+		{0, 1}, {1, 1}, {5, 3}, {255, 8}, {256, 9}, {1 << 20, 21},
+		{math.MaxUint64, 64}, {12345, 64},
+	}
+	for _, c := range cases {
+		var w Writer
+		w.WriteUint(c.v, c.width)
+		if w.Len() != c.width {
+			t.Errorf("WriteUint(%d,%d) wrote %d bits", c.v, c.width, w.Len())
+		}
+		r := NewReader(w.String())
+		got, err := r.ReadUint(c.width)
+		if err != nil {
+			t.Fatalf("ReadUint: %v", err)
+		}
+		if got != c.v {
+			t.Errorf("round trip %d width %d = %d", c.v, c.width, got)
+		}
+		if !r.AtEnd() {
+			t.Errorf("reader not at end after reading %d bits", c.width)
+		}
+	}
+}
+
+func TestEliasGammaKnownCodes(t *testing.T) {
+	// Canonical gamma codewords.
+	want := map[uint64]string{
+		1: "1",
+		2: "010",
+		3: "011",
+		4: "00100",
+		5: "00101",
+		8: "0001000",
+	}
+	for v, code := range want {
+		var w Writer
+		w.WriteEliasGamma(v)
+		if got := w.String().Binary(); got != code {
+			t.Errorf("gamma(%d) = %s, want %s", v, got, code)
+		}
+	}
+}
+
+func TestEliasDeltaKnownCodes(t *testing.T) {
+	want := map[uint64]string{
+		1:  "1",
+		2:  "0100",
+		3:  "0101",
+		4:  "01100",
+		10: "00100010",
+	}
+	for v, code := range want {
+		var w Writer
+		w.WriteEliasDelta(v)
+		if got := w.String().Binary(); got != code {
+			t.Errorf("delta(%d) = %s, want %s", v, got, code)
+		}
+	}
+}
+
+func TestGammaDeltaRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 2, 3, 4, 7, 8, 100, 1023, 1024, 1 << 30, 1<<62 - 1}
+	for _, v := range values {
+		var w Writer
+		w.WriteGammaValue(v)
+		w.WriteDeltaValue(v)
+		r := NewReader(w.String())
+		g, err := r.ReadGammaValue()
+		if err != nil {
+			t.Fatalf("ReadGammaValue(%d): %v", v, err)
+		}
+		d, err := r.ReadDeltaValue()
+		if err != nil {
+			t.Fatalf("ReadDeltaValue(%d): %v", v, err)
+		}
+		if g != v || d != v {
+			t.Errorf("round trip %d: gamma=%d delta=%d", v, g, d)
+		}
+		if !r.AtEnd() {
+			t.Errorf("leftover bits after decoding %d", v)
+		}
+	}
+}
+
+func TestGammaDeltaLengths(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 5, 63, 64, 1000, 1 << 20} {
+		var w Writer
+		w.WriteGammaValue(v)
+		if w.Len() != GammaLen(v) {
+			t.Errorf("GammaLen(%d) = %d, actual %d", v, GammaLen(v), w.Len())
+		}
+		var w2 Writer
+		w2.WriteDeltaValue(v)
+		if w2.Len() != DeltaLen(v) {
+			t.Errorf("DeltaLen(%d) = %d, actual %d", v, DeltaLen(v), w2.Len())
+		}
+	}
+}
+
+func TestGammaLengthIsLogarithmic(t *testing.T) {
+	// 2⌊log2(v+1)⌋+1 ≤ 2 log2(v+1) + 1.
+	for _, v := range []uint64{10, 100, 1000, 1 << 20, 1 << 40} {
+		bound := 2*math.Log2(float64(v+1)) + 1.0001
+		if float64(GammaLen(v)) > bound {
+			t.Errorf("GammaLen(%d) = %d exceeds 2log2(v+1)+1 = %f", v, GammaLen(v), bound)
+		}
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 17, 100} {
+		var w Writer
+		w.WriteUnary(v)
+		if w.Len() != int(v)+1 {
+			t.Errorf("unary(%d) length = %d", v, w.Len())
+		}
+		r := NewReader(w.String())
+		got, err := r.ReadUnary()
+		if err != nil {
+			t.Fatalf("ReadUnary: %v", err)
+		}
+		if got != v {
+			t.Errorf("unary round trip %d = %d", v, got)
+		}
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var w Writer
+	w.WriteUint(3, 2)
+	r := NewReader(w.String())
+	if _, err := r.ReadUint(5); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	r2 := NewReader(Empty())
+	if _, err := r2.ReadBool(); err == nil {
+		t.Fatal("expected truncation error on empty payload")
+	}
+	if _, err := NewReader(Empty()).ReadEliasGamma(); err == nil {
+		t.Fatal("expected truncation error for gamma on empty payload")
+	}
+}
+
+func TestUintWidth(t *testing.T) {
+	cases := map[uint64]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for v, want := range cases {
+		if got := UintWidth(v); got != want {
+			t.Errorf("UintWidth(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteUint(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("after Reset len = %d", w.Len())
+	}
+	w.WriteBool(true)
+	if got := w.String().Binary(); got != "1" {
+		t.Fatalf("after Reset write = %q", got)
+	}
+}
+
+func TestQuickGammaRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		var w Writer
+		w.WriteGammaValue(uint64(v))
+		got, err := NewReader(w.String()).ReadGammaValue()
+		return err == nil && got == uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var w Writer
+		w.WriteDeltaValue(v)
+		got, err := NewReader(w.String()).ReadDeltaValue()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedFieldsRoundTrip(t *testing.T) {
+	f := func(a uint16, b bool, c uint32, width8 uint8) bool {
+		width := int(width8%16) + 1
+		var w Writer
+		w.WriteUint(uint64(a)&(1<<uint(width)-1), width)
+		w.WriteBool(b)
+		w.WriteDeltaValue(uint64(c))
+		r := NewReader(w.String())
+		ga, err1 := r.ReadUint(width)
+		gb, err2 := r.ReadBool()
+		gc, err3 := r.ReadDeltaValue()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return ga == uint64(a)&(1<<uint(width)-1) && gb == b && gc == uint64(c) && r.AtEnd()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package bits provides bit-exact message payloads for the ring algorithms.
+//
+// The bit complexity results of Mansour & Zaks are stated in terms of the
+// total number of bits transmitted over the ring, so every message payload in
+// this repository is a bits.String whose length is accounted exactly by the
+// ring engine. The package offers a Writer/Reader pair for composing and
+// parsing payloads out of fixed-width fields, booleans, letters, and
+// self-delimiting Elias gamma/delta encoded integers. Self-delimiting codes
+// are what make the O(n log n) counter-based algorithms honest: a counter of
+// value v costs Θ(log v) bits and can be decoded without out-of-band length
+// information.
+package bits

@@ -1,0 +1,151 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a Reader runs out of bits mid-field.
+var ErrTruncated = errors.New("bits: truncated payload")
+
+// Reader consumes a bit string field by field, mirroring Writer.
+type Reader struct {
+	s   String
+	pos int
+}
+
+// NewReader returns a Reader positioned at the start of s.
+func NewReader(s String) *Reader {
+	return &Reader{s: s}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return r.s.n - r.pos
+}
+
+// AtEnd reports whether every bit has been consumed.
+func (r *Reader) AtEnd() bool {
+	return r.Remaining() == 0
+}
+
+// ReadBool consumes a single bit.
+func (r *Reader) ReadBool() (bool, error) {
+	if r.pos >= r.s.n {
+		return false, fmt.Errorf("%w: reading bool at %d", ErrTruncated, r.pos)
+	}
+	b, err := r.s.Bit(r.pos)
+	if err != nil {
+		return false, err
+	}
+	r.pos++
+	return b, nil
+}
+
+// ReadUint consumes `width` bits and returns them as an unsigned integer
+// (most significant bit first).
+func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width > 64 {
+		width = 64
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBool()
+		if err != nil {
+			return 0, fmt.Errorf("read uint width %d: %w", width, err)
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// ReadString consumes `width` bits and returns them as a bit string.
+func (r *Reader) ReadString(width int) (String, error) {
+	var w Writer
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBool()
+		if err != nil {
+			return String{}, fmt.Errorf("read string width %d: %w", width, err)
+		}
+		w.WriteBool(b)
+	}
+	return w.String(), nil
+}
+
+// ReadUnary consumes a unary code (ones terminated by a zero).
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBool()
+		if err != nil {
+			return 0, fmt.Errorf("read unary: %w", err)
+		}
+		if !b {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// ReadEliasGamma consumes an Elias gamma code and returns the positive
+// integer it encodes.
+func (r *Reader) ReadEliasGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBool()
+		if err != nil {
+			return 0, fmt.Errorf("read gamma prefix: %w", err)
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, errors.New("bits: gamma code exceeds 64-bit range")
+		}
+	}
+	// The leading 1 of the value has been consumed; read the remaining bits.
+	rest, err := r.ReadUint(zeros)
+	if err != nil {
+		return 0, fmt.Errorf("read gamma value: %w", err)
+	}
+	return 1<<uint(zeros) | rest, nil
+}
+
+// ReadGammaValue consumes a value written with Writer.WriteGammaValue.
+func (r *Reader) ReadGammaValue() (uint64, error) {
+	v, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}
+
+// ReadEliasDelta consumes an Elias delta code and returns the positive
+// integer it encodes.
+func (r *Reader) ReadEliasDelta() (uint64, error) {
+	n, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, fmt.Errorf("read delta length: %w", err)
+	}
+	if n == 0 || n > 64 {
+		return 0, errors.New("bits: delta code length out of range")
+	}
+	rest, err := r.ReadUint(int(n - 1))
+	if err != nil {
+		return 0, fmt.Errorf("read delta value: %w", err)
+	}
+	return 1<<uint(n-1) | rest, nil
+}
+
+// ReadDeltaValue consumes a value written with Writer.WriteDeltaValue.
+func (r *Reader) ReadDeltaValue() (uint64, error) {
+	v, err := r.ReadEliasDelta()
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}

@@ -1,0 +1,167 @@
+package bits
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// String is an immutable-by-convention sequence of bits. The zero value is an
+// empty string. It is the payload type carried by every ring message; its
+// Len is the quantity the complexity results count.
+type String struct {
+	// data holds the bits packed most-significant-bit first within each byte.
+	data []byte
+	// n is the number of valid bits in data.
+	n int
+}
+
+// ErrOutOfRange is returned when a bit index is outside [0, Len).
+var ErrOutOfRange = errors.New("bits: index out of range")
+
+// Empty returns an empty bit string.
+func Empty() String {
+	return String{}
+}
+
+// FromBools builds a String from a slice of booleans, one bit per element.
+func FromBools(bs []bool) String {
+	var w Writer
+	for _, b := range bs {
+		w.WriteBool(b)
+	}
+	return w.String()
+}
+
+// FromBinary parses a string of '0' and '1' runes (other runes are rejected).
+func FromBinary(s string) (String, error) {
+	var w Writer
+	for _, r := range s {
+		switch r {
+		case '0':
+			w.WriteBool(false)
+		case '1':
+			w.WriteBool(true)
+		default:
+			return String{}, fmt.Errorf("bits: invalid binary rune %q", r)
+		}
+	}
+	return w.String(), nil
+}
+
+// MustFromBinary is FromBinary that panics on malformed input. It is intended
+// for constant test fixtures only.
+func MustFromBinary(s string) String {
+	bs, err := FromBinary(s)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+// Len returns the number of bits in the string.
+func (s String) Len() int {
+	return s.n
+}
+
+// IsEmpty reports whether the string contains no bits.
+func (s String) IsEmpty() bool {
+	return s.n == 0
+}
+
+// Bit returns the i-th bit (0-indexed from the first written bit).
+func (s String) Bit(i int) (bool, error) {
+	if i < 0 || i >= s.n {
+		return false, fmt.Errorf("%w: %d (len %d)", ErrOutOfRange, i, s.n)
+	}
+	byteIdx := i / 8
+	bitIdx := uint(7 - i%8)
+	return s.data[byteIdx]>>bitIdx&1 == 1, nil
+}
+
+// Bools expands the string into a slice of booleans.
+func (s String) Bools() []bool {
+	out := make([]bool, s.n)
+	for i := 0; i < s.n; i++ {
+		b, _ := s.Bit(i)
+		out[i] = b
+	}
+	return out
+}
+
+// Binary renders the string as a sequence of '0'/'1' characters.
+func (s String) Binary() string {
+	var sb strings.Builder
+	sb.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		b, _ := s.Bit(i)
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer; it shows the length and a (possibly
+// truncated) binary rendering, which keeps traces readable.
+func (s String) String() string {
+	const maxShown = 64
+	bin := s.Binary()
+	if len(bin) > maxShown {
+		bin = bin[:maxShown] + "..."
+	}
+	return fmt.Sprintf("bits[%d]{%s}", s.n, bin)
+}
+
+// Equal reports whether two bit strings have identical length and content.
+func (s String) Equal(other String) bool {
+	if s.n != other.n {
+		return false
+	}
+	full := s.n / 8
+	for i := 0; i < full; i++ {
+		if s.data[i] != other.data[i] {
+			return false
+		}
+	}
+	rem := s.n % 8
+	if rem == 0 {
+		return true
+	}
+	mask := byte(0xFF << uint(8-rem))
+	return s.data[full]&mask == other.data[full]&mask
+}
+
+// Concat returns the concatenation s followed by other.
+func (s String) Concat(other String) String {
+	var w Writer
+	w.WriteString(s)
+	w.WriteString(other)
+	return w.String()
+}
+
+// Clone returns a deep copy of the string. Because String is treated as
+// immutable this is rarely necessary, but the engine clones payloads at trust
+// boundaries so a misbehaving algorithm cannot mutate recorded traces.
+func (s String) Clone() String {
+	data := make([]byte, len(s.data))
+	copy(data, s.data)
+	return String{data: data, n: s.n}
+}
+
+// Key returns a compact comparable representation usable as a map key. Two
+// strings have the same key iff Equal reports true.
+func (s String) Key() string {
+	full := s.n / 8
+	rem := s.n % 8
+	buf := make([]byte, 0, len(s.data)+2)
+	buf = append(buf, byte(s.n>>8), byte(s.n))
+	buf = append(buf, s.data[:full]...)
+	if rem != 0 {
+		mask := byte(0xFF << uint(8-rem))
+		buf = append(buf, s.data[full]&mask)
+	}
+	return string(buf)
+}

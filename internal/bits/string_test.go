@@ -1,0 +1,154 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyString(t *testing.T) {
+	s := Empty()
+	if s.Len() != 0 {
+		t.Fatalf("empty length = %d, want 0", s.Len())
+	}
+	if !s.IsEmpty() {
+		t.Fatal("empty string should report IsEmpty")
+	}
+	if s.Binary() != "" {
+		t.Fatalf("empty binary = %q, want empty", s.Binary())
+	}
+}
+
+func TestFromBinaryRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "0101", "11111111", "101010101010101010101", "000000001"}
+	for _, c := range cases {
+		s, err := FromBinary(c)
+		if err != nil {
+			t.Fatalf("FromBinary(%q): %v", c, err)
+		}
+		if got := s.Binary(); got != c {
+			t.Errorf("Binary() = %q, want %q", got, c)
+		}
+		if s.Len() != len(c) {
+			t.Errorf("Len() = %d, want %d", s.Len(), len(c))
+		}
+	}
+}
+
+func TestFromBinaryRejectsGarbage(t *testing.T) {
+	if _, err := FromBinary("01x0"); err == nil {
+		t.Fatal("expected error for invalid rune")
+	}
+}
+
+func TestBitOutOfRange(t *testing.T) {
+	s := MustFromBinary("101")
+	if _, err := s.Bit(3); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := s.Bit(-1); err == nil {
+		t.Fatal("expected out-of-range error for negative index")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := MustFromBinary("10110")
+	b := MustFromBinary("10110")
+	c := MustFromBinary("10111")
+	d := MustFromBinary("101100")
+	if !a.Equal(b) {
+		t.Error("identical strings should be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different content should not be Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different lengths should not be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal strings must share a Key")
+	}
+	if a.Key() == c.Key() || a.Key() == d.Key() {
+		t.Error("unequal strings must not share a Key")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustFromBinary("101")
+	b := MustFromBinary("0011")
+	got := a.Concat(b)
+	if got.Binary() != "1010011" {
+		t.Fatalf("Concat = %q, want 1010011", got.Binary())
+	}
+	if got.Len() != 7 {
+		t.Fatalf("Concat length = %d, want 7", got.Len())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var w Writer
+	w.WriteUint(0xAB, 8)
+	s := w.String()
+	cl := s.Clone()
+	if !s.Equal(cl) {
+		t.Fatal("clone should be equal to the original")
+	}
+	// Mutating the writer afterwards must not affect either snapshot.
+	w.WriteUint(0xFF, 8)
+	if s.Len() != 8 || cl.Len() != 8 {
+		t.Fatal("snapshots must be unaffected by further writes")
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	in := []bool{true, false, true, true}
+	s := FromBools(in)
+	out := s.Bools()
+	if len(out) != len(in) {
+		t.Fatalf("Bools length = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestStringerTruncates(t *testing.T) {
+	var w Writer
+	for i := 0; i < 200; i++ {
+		w.WriteBool(true)
+	}
+	s := w.String().String()
+	if len(s) > 100 {
+		t.Fatalf("String() should truncate long payloads, got %d chars", len(s))
+	}
+}
+
+func TestQuickBoolsRoundTrip(t *testing.T) {
+	f := func(in []bool) bool {
+		s := FromBools(in)
+		out := s.Bools()
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyConsistency(t *testing.T) {
+	f := func(a, b []bool) bool {
+		sa, sb := FromBools(a), FromBools(b)
+		return sa.Equal(sb) == (sa.Key() == sb.Key())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package bits
+
+import "math/bits"
+
+// Writer composes a bit string field by field. The zero value is ready to
+// use. Writers are not safe for concurrent use.
+type Writer struct {
+	data []byte
+	n    int
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int {
+	return w.n
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(b bool) {
+	byteIdx := w.n / 8
+	if byteIdx == len(w.data) {
+		w.data = append(w.data, 0)
+	}
+	if b {
+		bitIdx := uint(7 - w.n%8)
+		w.data[byteIdx] |= 1 << bitIdx
+	}
+	w.n++
+}
+
+// WriteUint appends the low `width` bits of v, most significant bit first.
+// Width zero writes nothing. Widths above 64 are clamped to 64.
+func (w *Writer) WriteUint(v uint64, width int) {
+	if width > 64 {
+		width = 64
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBool(v>>uint(i)&1 == 1)
+	}
+}
+
+// WriteString appends an existing bit string.
+func (w *Writer) WriteString(s String) {
+	for i := 0; i < s.n; i++ {
+		b, _ := s.Bit(i)
+		w.WriteBool(b)
+	}
+}
+
+// WriteUnary appends v as a unary code: v ones followed by a zero. It is used
+// only by tests and by deliberately wasteful baseline encodings.
+func (w *Writer) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBool(true)
+	}
+	w.WriteBool(false)
+}
+
+// WriteEliasGamma appends v >= 1 using the Elias gamma code
+// (⌊log2 v⌋ zeros, then the binary representation of v). The code length is
+// 2⌊log2 v⌋ + 1 bits.
+func (w *Writer) WriteEliasGamma(v uint64) {
+	if v == 0 {
+		// Gamma is defined for positive integers; shift by one so that the
+		// full uint64 range round-trips. Decoders undo the shift.
+		v = 1
+	}
+	n := bits.Len64(v) - 1 // ⌊log2 v⌋
+	for i := 0; i < n; i++ {
+		w.WriteBool(false)
+	}
+	w.WriteUint(v, n+1)
+}
+
+// WriteGammaValue appends an arbitrary uint64 (including zero) by encoding
+// v+1 with Elias gamma.
+func (w *Writer) WriteGammaValue(v uint64) {
+	w.WriteEliasGamma(v + 1)
+}
+
+// WriteEliasDelta appends v >= 1 using the Elias delta code (the length of v
+// is itself gamma coded). Asymptotically log2 v + O(log log v) bits.
+func (w *Writer) WriteEliasDelta(v uint64) {
+	if v == 0 {
+		v = 1
+	}
+	n := bits.Len64(v) // number of binary digits of v
+	w.WriteEliasGamma(uint64(n))
+	// Emit v without its leading 1 bit (the gamma code of n carries it).
+	w.WriteUint(v, n-1)
+}
+
+// WriteDeltaValue appends an arbitrary uint64 (including zero) by encoding
+// v+1 with Elias delta.
+func (w *Writer) WriteDeltaValue(v uint64) {
+	w.WriteEliasDelta(v + 1)
+}
+
+// String returns the accumulated bit string. The Writer may continue to be
+// used afterwards; the returned String is a snapshot.
+func (w *Writer) String() String {
+	data := make([]byte, len(w.data))
+	copy(data, w.data)
+	return String{data: data, n: w.n}
+}
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.data = w.data[:0]
+	w.n = 0
+}
+
+// GammaLen returns the number of bits WriteGammaValue(v) would emit.
+func GammaLen(v uint64) int {
+	return 2*(bits.Len64(v+1)-1) + 1
+}
+
+// DeltaLen returns the number of bits WriteDeltaValue(v) would emit.
+func DeltaLen(v uint64) int {
+	n := bits.Len64(v + 1)
+	return GammaLenPositive(uint64(n)) + n - 1
+}
+
+// GammaLenPositive returns the gamma code length of a positive integer.
+func GammaLenPositive(v uint64) int {
+	if v == 0 {
+		v = 1
+	}
+	return 2*(bits.Len64(v)-1) + 1
+}
+
+// UintWidth returns the minimum fixed width (in bits) able to represent every
+// value in [0, max]. It is the ⌈log₂(max+1)⌉ quantity that appears throughout
+// the paper as ⌈log |Q|⌉.
+func UintWidth(max uint64) int {
+	if max == 0 {
+		return 1
+	}
+	return bits.Len64(max)
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// The paper frames its algorithms as "computing a function or recognizing a
+// language" over the ring's pattern. This file provides the
+// function-computation side for the classic aggregates: the leader learns
+// max, sum, or a letter count of the digit values held by the processors in
+// one pass whose messages carry a δ-coded running aggregate — O(n log V)
+// bits, the same counting structure as Section 8's example.
+
+// AggregateKind selects the function computed over the ring.
+type AggregateKind int
+
+const (
+	// AggregateMax computes the maximum digit value on the ring.
+	AggregateMax AggregateKind = iota + 1
+	// AggregateSum computes the sum of the digit values.
+	AggregateSum
+	// AggregateCountNonZero counts the processors holding a non-zero digit.
+	AggregateCountNonZero
+)
+
+// String implements fmt.Stringer.
+func (k AggregateKind) String() string {
+	switch k {
+	case AggregateMax:
+		return "max"
+	case AggregateSum:
+		return "sum"
+	case AggregateCountNonZero:
+		return "count-nonzero"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNotADigit is returned when an aggregate run is given a non-digit letter.
+var ErrNotADigit = errors.New("core: aggregate inputs must be decimal digits")
+
+// AggregateResult is the outcome of one aggregate computation.
+type AggregateResult struct {
+	// Kind is the function computed.
+	Kind AggregateKind
+	// Value is the function value the leader learned.
+	Value uint64
+	// Stats is the engine's exact accounting for the run.
+	Stats *ring.Stats
+}
+
+// ComputeAggregate runs the single-pass aggregate algorithm on a ring whose
+// processors hold the decimal digits of word ('0'..'9'). A nil engine runs on
+// the deterministic sequential engine.
+func ComputeAggregate(kind AggregateKind, word lang.Word, engine ring.Engine) (*AggregateResult, error) {
+	if len(word) == 0 {
+		return nil, ErrEmptyWord
+	}
+	values := make([]uint64, len(word))
+	for i, letter := range word {
+		if letter < '0' || letter > '9' {
+			return nil, fmt.Errorf("%w: %q at position %d", ErrNotADigit, letter, i)
+		}
+		values[i] = uint64(letter - '0')
+	}
+	nodes := make([]ring.Node, len(word))
+	leader := &aggregateNode{kind: kind, value: values[0], leader: true}
+	nodes[0] = leader
+	for i := 1; i < len(word); i++ {
+		nodes[i] = &aggregateNode{kind: kind, value: values[i]}
+	}
+	if engine == nil {
+		engine = ring.NewSequentialEngine()
+	}
+	res, err := engine.Run(ring.Config{Mode: ring.Unidirectional, RequireVerdict: true}, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate %s: %w", kind, err)
+	}
+	return &AggregateResult{Kind: kind, Value: leader.result, Stats: res.Stats}, nil
+}
+
+// ReferenceAggregate computes the same function locally; tests and callers
+// use it to validate the distributed result.
+func ReferenceAggregate(kind AggregateKind, word lang.Word) (uint64, error) {
+	var out uint64
+	for i, letter := range word {
+		if letter < '0' || letter > '9' {
+			return 0, fmt.Errorf("%w: %q at position %d", ErrNotADigit, letter, i)
+		}
+		v := uint64(letter - '0')
+		switch kind {
+		case AggregateMax:
+			if v > out {
+				out = v
+			}
+		case AggregateSum:
+			out += v
+		case AggregateCountNonZero:
+			if v != 0 {
+				out++
+			}
+		default:
+			return 0, fmt.Errorf("core: unknown aggregate kind %d", kind)
+		}
+	}
+	return out, nil
+}
+
+// aggregateNode carries the running aggregate around the ring.
+type aggregateNode struct {
+	kind   AggregateKind
+	value  uint64
+	leader bool
+	result uint64
+}
+
+// fold combines the running aggregate with this processor's value.
+func (n *aggregateNode) fold(acc uint64) uint64 {
+	switch n.kind {
+	case AggregateMax:
+		if n.value > acc {
+			return n.value
+		}
+		return acc
+	case AggregateSum:
+		return acc + n.value
+	case AggregateCountNonZero:
+		if n.value != 0 {
+			return acc + 1
+		}
+		return acc
+	default:
+		return acc
+	}
+}
+
+// initial is the aggregate of the empty prefix.
+func (n *aggregateNode) initial() uint64 {
+	return 0
+}
+
+// Start implements ring.Node.
+func (n *aggregateNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(n.fold(n.initial()))
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// Receive implements ring.Node.
+func (n *aggregateNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	acc, err := bits.NewReader(payload).ReadDeltaValue()
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: decode accumulator: %w", err)
+	}
+	if ctx.IsLeader() {
+		n.result = acc
+		return nil, ctx.Accept()
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(n.fold(acc))
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlang/internal/lang"
+)
+
+// NewRecognizerByName builds a recognizer from a short name, used by the cmd
+// tools. Regular-language recognizers take the language name as an argument.
+func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
+	switch algorithm {
+	case "regular-one-pass":
+		l, err := lang.ByName(language)
+		if err != nil {
+			return nil, err
+		}
+		reg, ok := l.(*lang.Regular)
+		if !ok {
+			return nil, fmt.Errorf("core: %q is not a regular language", language)
+		}
+		return NewRegularOnePass(reg), nil
+	case "collect-all":
+		l, err := lang.ByName(language)
+		if err != nil {
+			return nil, err
+		}
+		return NewCollectAll(l), nil
+	case "count":
+		return NewSquareCount(), nil
+	case "count-backward":
+		return NewCountBackward(lang.NewPerfectSquareLength()), nil
+	case "three-counters":
+		return NewThreeCounters(), nil
+	case "balanced-counter":
+		return NewBalancedCounter(), nil
+	case "compare-wcw":
+		return NewCompareWcW(), nil
+	case "lg", "lg-known-n":
+		var growth lang.GrowthFunc
+		found := false
+		for _, g := range lang.StandardGrowthFuncs() {
+			if lang.NewLg(g).Name() == language || g.Name == language {
+				growth = g
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: unknown growth function %q", language)
+		}
+		if algorithm == "lg-known-n" {
+			return NewLgRecognizerKnownN(lang.NewLg(growth)), nil
+		}
+		return NewLgRecognizer(lang.NewLg(growth)), nil
+	case "parity-one-pass", "parity-two-pass":
+		var k int
+		if _, err := fmt.Sscanf(language, "k=%d", &k); err != nil {
+			return nil, fmt.Errorf("core: parity recognizers take a language of the form \"k=<int>\": %w", err)
+		}
+		pl, err := lang.NewParityIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		if algorithm == "parity-one-pass" {
+			return NewParityOnePass(pl), nil
+		}
+		return NewParityTwoPass(pl), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algorithm)
+	}
+}
+
+// AlgorithmNames lists the algorithm names accepted by NewRecognizerByName.
+func AlgorithmNames() []string {
+	return []string{
+		"regular-one-pass",
+		"collect-all",
+		"count",
+		"count-backward",
+		"three-counters",
+		"balanced-counter",
+		"compare-wcw",
+		"lg",
+		"lg-known-n",
+		"parity-one-pass",
+		"parity-two-pass",
+	}
+}

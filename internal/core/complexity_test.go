@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ringlang/internal/lang"
+)
+
+// TestComplexityEnvelopes runs every recognizer with a declared complexity
+// model across a size sweep and asserts the measured bit totals stay inside
+// the paper's envelope — the executable form of the per-algorithm analyses.
+func TestComplexityEnvelopes(t *testing.T) {
+	recs, models, err := StandardModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(models) {
+		t.Fatalf("StandardModels returned %d recognizers but %d models", len(recs), len(models))
+	}
+	rng := rand.New(rand.NewSource(77))
+	sizes := []int{8, 33, 65, 129, 257}
+	for i, rec := range recs {
+		model := models[i]
+		for _, n := range sizes {
+			word, _, err := lang.MemberOrSkip(rec.Language(), n, 8, rng)
+			if err != nil {
+				word = lang.RandomWord(rec.Language().Alphabet(), n, rng)
+			}
+			res, err := Run(rec, word, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s at n=%d: %v", rec.Name(), n, err)
+			}
+			if !model.Contains(len(word), res.Stats.Bits) {
+				t.Errorf("envelope violated: %s", model.Describe(len(word), res.Stats.Bits))
+			}
+		}
+	}
+}
+
+func TestComplexityModelDescribe(t *testing.T) {
+	m := ModelCount()
+	if !m.Contains(100, 800) {
+		t.Error("800 bits at n=100 should be inside the counting envelope")
+	}
+	if m.Contains(100, 50) || m.Contains(100, 10_000_000) {
+		t.Error("values far outside the envelope must be rejected")
+	}
+	if m.Describe(100, 800) == "" {
+		t.Error("Describe should produce a message")
+	}
+}
+
+func TestParityModelsAreExact(t *testing.T) {
+	language, err := lang.NewParityIndex(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+	word, _ := language.GenerateMember(96, rng)
+	two := runOn(t, NewParityTwoPass(language), word)
+	one := runOn(t, NewParityOnePass(language), word)
+	if !ModelParityTwoPass(language).Contains(96, two.Stats.Bits) {
+		t.Errorf("two-pass formula mismatch: %d bits", two.Stats.Bits)
+	}
+	if !ModelParityOnePass(language).Contains(96, one.Stats.Bits) {
+		t.Errorf("one-pass formula mismatch: %d bits", one.Stats.Bits)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// Count is the counting algorithm discussed in Section 8 of the paper: the
+// leader sends a counter around the ring, every processor increments it, and
+// after one pass the leader knows n. Message i carries the value i in a
+// self-delimiting Elias-δ code of Θ(log i) bits, so the total is Θ(n log n)
+// bits — the canonical example of the Ω(n log n) class.
+//
+// As a recognizer it decides a length language (membership depends only on
+// n); with a non-regular length set such as the perfect squares this is a
+// non-regular language recognized in Θ(n log n) bits, matching Theorem 4's
+// lower bound exactly.
+type Count struct {
+	language *lang.LengthLanguage
+	coding   CounterCoding
+}
+
+var _ Recognizer = (*Count)(nil)
+
+// CounterCoding selects how the counter value is encoded in each message.
+// The choice is the ablation behind the O(n log n) total: a self-delimiting
+// logarithmic code (δ or γ) gives Θ(n log n) bits, while a unary code blows
+// the same algorithm up to Θ(n²).
+type CounterCoding int
+
+const (
+	// CodingDelta uses the Elias-δ code (log n + O(log log n) bits/message).
+	CodingDelta CounterCoding = iota + 1
+	// CodingGamma uses the Elias-γ code (2 log n + 1 bits/message).
+	CodingGamma
+	// CodingUnary uses a unary code (n bits/message) — deliberately wasteful,
+	// to show the encoding is what keeps the algorithm at Θ(n log n).
+	CodingUnary
+)
+
+// String implements fmt.Stringer.
+func (c CounterCoding) String() string {
+	switch c {
+	case CodingDelta:
+		return "delta"
+	case CodingGamma:
+		return "gamma"
+	case CodingUnary:
+		return "unary"
+	default:
+		return "unknown"
+	}
+}
+
+// NewCount builds the counting recognizer for a length language using the
+// default Elias-δ counter coding.
+func NewCount(language *lang.LengthLanguage) *Count {
+	return &Count{language: language, coding: CodingDelta}
+}
+
+// NewCountWithCoding builds the counting recognizer with an explicit counter
+// coding (used by the encoding ablation).
+func NewCountWithCoding(language *lang.LengthLanguage, coding CounterCoding) *Count {
+	return &Count{language: language, coding: coding}
+}
+
+// writeCounter encodes v with the recognizer's coding.
+func (c *Count) writeCounter(w *bits.Writer, v uint64) {
+	switch c.coding {
+	case CodingGamma:
+		w.WriteGammaValue(v)
+	case CodingUnary:
+		w.WriteUnary(v)
+	default:
+		w.WriteDeltaValue(v)
+	}
+}
+
+// readCounter decodes a counter written by writeCounter.
+func (c *Count) readCounter(r *bits.Reader) (uint64, error) {
+	switch c.coding {
+	case CodingGamma:
+		return r.ReadGammaValue()
+	case CodingUnary:
+		return r.ReadUnary()
+	default:
+		return r.ReadDeltaValue()
+	}
+}
+
+// NewSquareCount is shorthand for the counting recognizer of the non-regular
+// "length is a perfect square" language.
+func NewSquareCount() *Count {
+	return NewCount(lang.NewPerfectSquareLength())
+}
+
+// Name implements Recognizer.
+func (c *Count) Name() string {
+	if c.coding != CodingDelta {
+		return "count-" + c.coding.String()
+	}
+	return "count"
+}
+
+// Language implements Recognizer.
+func (c *Count) Language() lang.Language { return c.language }
+
+// Mode implements Recognizer.
+func (c *Count) Mode() ring.Mode { return ring.Unidirectional }
+
+// NewNodes implements Recognizer.
+func (c *Count) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes := make([]ring.Node, len(word))
+	for i := range word {
+		nodes[i] = &countNode{algo: c, leader: i == ring.LeaderIndex}
+	}
+	return nodes, nil
+}
+
+// countNode is the per-processor logic of the counting pass.
+type countNode struct {
+	algo   *Count
+	leader bool
+}
+
+// Start implements ring.Node: the leader counts itself and sends 1.
+func (n *countNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	var w bits.Writer
+	n.algo.writeCounter(&w, 1)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// Receive implements ring.Node.
+func (n *countNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	v, err := n.algo.readCounter(bits.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("count: decode counter: %w", err)
+	}
+	if ctx.IsLeader() {
+		// The counter has been incremented by the n-1 followers and started
+		// at 1, so it now equals n.
+		if n.algo.language.Predicate()(int(v)) {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	var w bits.Writer
+	n.algo.writeCounter(&w, v+1)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// CountBackward is the bidirectional twin of Count: the counter travels
+// Backward around the ring (the leader's first hop uses the p₁–p_n link), so
+// it is a genuinely bidirectional algorithm. It exists to exercise the
+// Theorem 7 Stage 1 line simulation, which must reroute that first hop the
+// long way around.
+type CountBackward struct {
+	language *lang.LengthLanguage
+}
+
+var _ Recognizer = (*CountBackward)(nil)
+
+// NewCountBackward builds the backward-travelling counting recognizer.
+func NewCountBackward(language *lang.LengthLanguage) *CountBackward {
+	return &CountBackward{language: language}
+}
+
+// Name implements Recognizer.
+func (c *CountBackward) Name() string { return "count-backward" }
+
+// Language implements Recognizer.
+func (c *CountBackward) Language() lang.Language { return c.language }
+
+// Mode implements Recognizer.
+func (c *CountBackward) Mode() ring.Mode { return ring.Bidirectional }
+
+// NewNodes implements Recognizer.
+func (c *CountBackward) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes := make([]ring.Node, len(word))
+	for i := range word {
+		nodes[i] = &countBackwardNode{algo: c, leader: i == ring.LeaderIndex}
+	}
+	return nodes, nil
+}
+
+// countBackwardNode mirrors countNode but sends Backward.
+type countBackwardNode struct {
+	algo   *CountBackward
+	leader bool
+}
+
+// Start implements ring.Node.
+func (n *countBackwardNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(1)
+	return []ring.Send{ring.SendBackward(w.String())}, nil
+}
+
+// Receive implements ring.Node.
+func (n *countBackwardNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	v, err := bits.NewReader(payload).ReadDeltaValue()
+	if err != nil {
+		return nil, fmt.Errorf("count-backward: decode counter: %w", err)
+	}
+	if ctx.IsLeader() {
+		if n.algo.language.Predicate()(int(v)) {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(v + 1)
+	return []ring.Send{ring.SendBackward(w.String())}, nil
+}

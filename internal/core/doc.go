@@ -1,0 +1,22 @@
+// Package core implements the paper's distributed recognition algorithms —
+// the primary contribution of the reproduction. Every algorithm is a
+// Recognizer: a factory that, given the word labelling the ring, builds one
+// ring.Node per processor (processor 0 being the leader) and whose verdict is
+// compared against the language's membership predicate.
+//
+// The algorithms, with their bit complexities as analysed in the paper:
+//
+//   - RegularOnePass (Theorem 1/6): one pass carrying a DFA state, O(n) bits.
+//   - CollectAll (Section 1): the universal baseline, the leader collects the
+//     whole word, O(n²) bits.
+//   - Count (Section 8 example): the leader learns n, O(n log n) bits; used
+//     standalone for length languages and as the first phase of others.
+//   - ThreeCounters (Section 7 note 2): {0ᵏ1ᵏ2ᵏ} in O(n log n) bits.
+//   - CompareWcW (Section 7 note 1): {wcw} in Θ(n²) bits.
+//   - LgRecognizer (Section 7 note 3/4): the Θ(g(n)) hierarchy, with an
+//     optional known-n mode that removes the counting phase.
+//   - ParityOnePass / ParityTwoPass (Section 7 note 5): the passes-vs-bits
+//     trade-off for a regular language over 2ᵏ letters.
+//   - CountBackward and LineSimulation (Theorem 7 stage 1): bidirectional
+//     algorithms and the cut-link line transformation.
+package core

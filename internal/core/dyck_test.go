@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+func TestBalancedCounterCorrectness(t *testing.T) {
+	rec := NewBalancedCounter()
+	checkAgainstLanguage(t, rec, []int{1, 2, 3, 4, 8, 16, 64, 200})
+	cases := map[string]ring.Verdict{
+		"()":     ring.VerdictAccept,
+		"(())()": ring.VerdictAccept,
+		")(":     ring.VerdictReject,
+		"(()":    ring.VerdictReject,
+		"())":    ring.VerdictReject,
+	}
+	for w, want := range cases {
+		res := runOn(t, rec, lang.WordFromString(w))
+		if res.Verdict != want {
+			t.Errorf("balanced-counter(%q) = %v, want %v", w, res.Verdict, want)
+		}
+	}
+}
+
+func TestBalancedCounterBitComplexityIsNLogN(t *testing.T) {
+	rec := NewBalancedCounter()
+	for _, n := range []int{64, 256, 1024} {
+		word, ok := rec.Language().GenerateMember(n, newRng())
+		if !ok {
+			t.Fatalf("no member of length %d", n)
+		}
+		res := runOn(t, rec, word)
+		upper := float64(n) * (3*math.Log2(float64(n)) + 4)
+		if float64(res.Stats.Bits) > upper {
+			t.Errorf("n=%d: %d bits above the n log n envelope %.0f", n, res.Stats.Bits, upper)
+		}
+		if res.Stats.Messages != n {
+			t.Errorf("n=%d: expected a single pass, got %d messages", n, res.Stats.Messages)
+		}
+	}
+}
+
+func TestBalancedCounterRejectsForeignLetters(t *testing.T) {
+	rec := NewBalancedCounter()
+	if _, err := rec.NewNodes(lang.WordFromString("(a)")); err == nil {
+		t.Error("expected error for letters outside {(,)}")
+	}
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+)
+
+// ExampleRun shows the lowest-level entry point: build a recognizer, run it
+// on a word, and read the engine's exact accounting.
+func ExampleRun() {
+	language, err := lang.NewRegularFromRegex("ends-abb", "(a|b)*abb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := core.NewRegularOnePass(language)
+	res, err := core.Run(rec, lang.WordFromString("ababb"), core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d bits over %d messages (%d bits per message)\n",
+		res.Verdict, res.Stats.Bits, res.Stats.Messages, rec.StateBits())
+	// Output: accept: 10 bits over 5 messages (2 bits per message)
+}
+
+// ExampleComputeAggregate shows the function-computation side of the model:
+// the leader learns the sum of the digits on the ring in one pass.
+func ExampleComputeAggregate() {
+	res, err := core.ComputeAggregate(core.AggregateSum, lang.WordFromString("140924"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum=%d messages=%d\n", res.Value, res.Stats.Messages)
+	// Output: sum=20 messages=6
+}
+
+// ExampleNewLineSimulation shows the Theorem 7 Stage 1 transformation: the
+// wrapped bidirectional algorithm never uses the leader–p_n link yet reaches
+// the same verdict.
+func ExampleNewLineSimulation() {
+	inner := core.NewCountBackward(lang.NewPerfectSquareLength())
+	sim, err := core.NewLineSimulation(inner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	word := lang.WordFromString("aaaaaaaaa") // n = 9, a perfect square
+	direct, err := core.Run(inner, word, core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simulated, err := core.Run(sim, word, core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct=%s simulated=%s\n", direct.Verdict, simulated.Verdict)
+	// Output: direct=accept simulated=accept
+}

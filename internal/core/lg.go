@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// LgRecognizer recognizes the L_g hierarchy languages of Section 7 note 3.
+// It runs in (at most) two passes:
+//
+//  1. a counting pass (identical to Count) so the leader learns n and can
+//     compute the period p(n) = ⌊g(n)/n⌋ — this is the O(n log n) term the
+//     paper charges for "the leader computes n";
+//  2. a comparison pass in which the message carries the p(n) most recent
+//     letters: every processor beyond the first p compares its letter with
+//     the one p positions back, which costs Θ(p(n)·n) = Θ(g(n)) bits.
+//
+// With KnownN set the counting pass is skipped, reproducing Section 7 note 4:
+// when n is known the n log n term disappears and the whole hierarchy
+// Θ(g(n)), n ≤ g(n) ≤ n², is realized with no gap.
+type LgRecognizer struct {
+	language *lang.Lg
+	knownN   bool
+}
+
+var _ Recognizer = (*LgRecognizer)(nil)
+
+// NewLgRecognizer builds the two-pass (unknown n) recognizer.
+func NewLgRecognizer(language *lang.Lg) *LgRecognizer {
+	return &LgRecognizer{language: language}
+}
+
+// NewLgRecognizerKnownN builds the one-pass variant in which every node is
+// constructed already knowing n (note 4 of Section 7).
+func NewLgRecognizerKnownN(language *lang.Lg) *LgRecognizer {
+	return &LgRecognizer{language: language, knownN: true}
+}
+
+// Name implements Recognizer.
+func (l *LgRecognizer) Name() string {
+	if l.knownN {
+		return "lg-known-n"
+	}
+	return "lg"
+}
+
+// Language implements Recognizer.
+func (l *LgRecognizer) Language() lang.Language { return l.language }
+
+// Mode implements Recognizer.
+func (l *LgRecognizer) Mode() ring.Mode { return ring.Unidirectional }
+
+// KnownN reports whether the counting pass is skipped.
+func (l *LgRecognizer) KnownN() bool { return l.knownN }
+
+// NewNodes implements Recognizer.
+func (l *LgRecognizer) NewNodes(word lang.Word) ([]ring.Node, error) {
+	alphabet := l.language.Alphabet()
+	nodes := make([]ring.Node, len(word))
+	for i, letter := range word {
+		if !alphabet.Contains(letter) {
+			return nil, fmt.Errorf("lg: letter %q outside the alphabet", letter)
+		}
+		node := &lgNode{algo: l, letter: letter, leader: i == ring.LeaderIndex}
+		if l.knownN {
+			node.knownN = len(word)
+		}
+		nodes[i] = node
+	}
+	return nodes, nil
+}
+
+// lgWindow is the decoded comparison-pass message.
+type lgWindow struct {
+	ok     bool
+	period uint64
+	window []lang.Letter
+}
+
+func encodeLgWindow(s lgWindow) bits.String {
+	var w bits.Writer
+	w.WriteBool(s.ok)
+	w.WriteDeltaValue(s.period)
+	w.WriteDeltaValue(uint64(len(s.window)))
+	for _, l := range s.window {
+		w.WriteBool(l == 'b')
+	}
+	return w.String()
+}
+
+func decodeLgWindow(payload bits.String) (lgWindow, error) {
+	r := bits.NewReader(payload)
+	var s lgWindow
+	var err error
+	if s.ok, err = r.ReadBool(); err != nil {
+		return s, fmt.Errorf("lg: decode ok flag: %w", err)
+	}
+	if s.period, err = r.ReadDeltaValue(); err != nil {
+		return s, fmt.Errorf("lg: decode period: %w", err)
+	}
+	count, err := r.ReadDeltaValue()
+	if err != nil {
+		return s, fmt.Errorf("lg: decode window length: %w", err)
+	}
+	s.window = make([]lang.Letter, 0, count)
+	for i := uint64(0); i < count; i++ {
+		isB, err := r.ReadBool()
+		if err != nil {
+			return s, fmt.Errorf("lg: decode window letter %d: %w", i, err)
+		}
+		if isB {
+			s.window = append(s.window, 'b')
+		} else {
+			s.window = append(s.window, 'a')
+		}
+	}
+	return s, nil
+}
+
+// apply folds one letter into the sliding window, comparing it with the
+// letter period positions back when the window is full.
+func (s lgWindow) apply(letter lang.Letter) lgWindow {
+	out := lgWindow{ok: s.ok, period: s.period, window: append([]lang.Letter(nil), s.window...)}
+	if uint64(len(out.window)) == out.period {
+		if out.window[0] != letter {
+			out.ok = false
+		}
+		out.window = out.window[1:]
+	}
+	out.window = append(out.window, letter)
+	return out
+}
+
+// lgNode is the per-processor logic of the L_g recognizer.
+type lgNode struct {
+	algo   *LgRecognizer
+	letter lang.Letter
+	leader bool
+	// knownN is the ring size when the recognizer runs in known-n mode, zero
+	// otherwise.
+	knownN int
+	// passesSeen counts the messages this node has handled, which tells it
+	// whether an incoming message belongs to the counting or comparison pass.
+	passesSeen int
+}
+
+// startComparisonPass builds the leader's first comparison-pass message for a
+// ring of size n.
+func (n *lgNode) startComparisonPass(ringSize int) []ring.Send {
+	period := n.algo.language.Period(ringSize)
+	initial := lgWindow{ok: true, period: uint64(period), window: []lang.Letter{n.letter}}
+	return []ring.Send{ring.SendForward(encodeLgWindow(initial))}
+}
+
+// Start implements ring.Node.
+func (n *lgNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	if n.algo.knownN {
+		return n.startComparisonPass(n.knownN), nil
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(1)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// Receive implements ring.Node.
+func (n *lgNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	n.passesSeen++
+	countingPass := !n.algo.knownN && n.passesSeen == 1
+	if countingPass {
+		v, err := bits.NewReader(payload).ReadDeltaValue()
+		if err != nil {
+			return nil, fmt.Errorf("lg: decode counter: %w", err)
+		}
+		if ctx.IsLeader() {
+			// Counting pass complete: v == n. Launch the comparison pass.
+			return n.startComparisonPass(int(v)), nil
+		}
+		var w bits.Writer
+		w.WriteDeltaValue(v + 1)
+		return []ring.Send{ring.SendForward(w.String())}, nil
+	}
+
+	s, err := decodeLgWindow(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.IsLeader() {
+		// The comparison pass returned: every processor from position p(n)
+		// onward has checked its letter against the one p(n) positions back.
+		if s.ok {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	return []ring.Send{ring.SendForward(encodeLgWindow(s.apply(n.letter)))}, nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// The two recognizers in this file reproduce Section 7 note 5: the regular
+// language over Σ = {σ₀,…,σ_{2ᵏ−1}} whose members are the words in which
+// σ_{|w| mod (2ᵏ−1)} occurs an even number of times.
+//
+//   - ParityTwoPass uses two passes: the first computes |w| mod (2ᵏ−1) with k
+//     bits per message, the second carries that index plus a single parity
+//     bit, for (2k+1)·n bits in total.
+//   - ParityOnePass does everything in one pass but must track the parity of
+//     every candidate letter concurrently, for (k + 2ᵏ−1)·n bits.
+//
+// The crossover between the two is the paper's bits-versus-passes trade-off.
+
+// ParityTwoPass is the (2k+1)·n-bit, two-pass recognizer.
+type ParityTwoPass struct {
+	language *lang.ParityIndex
+}
+
+var _ Recognizer = (*ParityTwoPass)(nil)
+
+// NewParityTwoPass builds the two-pass recognizer.
+func NewParityTwoPass(language *lang.ParityIndex) *ParityTwoPass {
+	return &ParityTwoPass{language: language}
+}
+
+// Name implements Recognizer.
+func (p *ParityTwoPass) Name() string { return "parity-two-pass" }
+
+// Language implements Recognizer.
+func (p *ParityTwoPass) Language() lang.Language { return p.language }
+
+// Mode implements Recognizer.
+func (p *ParityTwoPass) Mode() ring.Mode { return ring.Unidirectional }
+
+// NewNodes implements Recognizer.
+func (p *ParityTwoPass) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes := make([]ring.Node, len(word))
+	for i, letter := range word {
+		idx := p.language.LetterIndex(letter)
+		if idx < 0 {
+			return nil, fmt.Errorf("parity-two-pass: letter %q outside the alphabet", letter)
+		}
+		nodes[i] = &parityTwoPassNode{algo: p, letterIdx: idx, leader: i == ring.LeaderIndex}
+	}
+	return nodes, nil
+}
+
+// parityTwoPassNode is the per-processor logic of the two-pass algorithm.
+type parityTwoPassNode struct {
+	algo      *ParityTwoPass
+	letterIdx int
+	leader    bool
+	pass      int
+}
+
+// kBits returns k, the width of the modular counter.
+func (p *ParityTwoPass) kBits() int { return p.language.K() }
+
+// Start implements ring.Node: pass 1 counts the ring length mod 2ᵏ−1,
+// starting from the leader's own contribution of 1.
+func (n *parityTwoPassNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	var w bits.Writer
+	w.WriteUint(1%uint64(n.algo.language.Modulus()), n.algo.kBits())
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// Receive implements ring.Node.
+func (n *parityTwoPassNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	n.pass++
+	k := n.algo.kBits()
+	mod := uint64(n.algo.language.Modulus())
+	r := bits.NewReader(payload)
+	if n.pass == 1 {
+		count, err := r.ReadUint(k)
+		if err != nil {
+			return nil, fmt.Errorf("parity-two-pass: decode counter: %w", err)
+		}
+		if ctx.IsLeader() {
+			// count == n mod (2ᵏ−1); start pass 2 with the leader's parity
+			// contribution folded in.
+			target := count
+			parity := n.letterIdx == int(target)
+			var w bits.Writer
+			w.WriteUint(target, k)
+			w.WriteBool(parity)
+			return []ring.Send{ring.SendForward(w.String())}, nil
+		}
+		var w bits.Writer
+		w.WriteUint((count+1)%mod, k)
+		return []ring.Send{ring.SendForward(w.String())}, nil
+	}
+
+	target, err := r.ReadUint(k)
+	if err != nil {
+		return nil, fmt.Errorf("parity-two-pass: decode target: %w", err)
+	}
+	parity, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("parity-two-pass: decode parity: %w", err)
+	}
+	if ctx.IsLeader() {
+		if !parity {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	if n.letterIdx == int(target) {
+		parity = !parity
+	}
+	var w bits.Writer
+	w.WriteUint(target, k)
+	w.WriteBool(parity)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+// ParityOnePass is the (k + 2ᵏ−1)·n-bit, single-pass recognizer.
+type ParityOnePass struct {
+	language *lang.ParityIndex
+}
+
+var _ Recognizer = (*ParityOnePass)(nil)
+
+// NewParityOnePass builds the one-pass recognizer.
+func NewParityOnePass(language *lang.ParityIndex) *ParityOnePass {
+	return &ParityOnePass{language: language}
+}
+
+// Name implements Recognizer.
+func (p *ParityOnePass) Name() string { return "parity-one-pass" }
+
+// Language implements Recognizer.
+func (p *ParityOnePass) Language() lang.Language { return p.language }
+
+// Mode implements Recognizer.
+func (p *ParityOnePass) Mode() ring.Mode { return ring.Unidirectional }
+
+// NewNodes implements Recognizer.
+func (p *ParityOnePass) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes := make([]ring.Node, len(word))
+	for i, letter := range word {
+		idx := p.language.LetterIndex(letter)
+		if idx < 0 {
+			return nil, fmt.Errorf("parity-one-pass: letter %q outside the alphabet", letter)
+		}
+		nodes[i] = &parityOnePassNode{algo: p, letterIdx: idx, leader: i == ring.LeaderIndex}
+	}
+	return nodes, nil
+}
+
+// parityOnePassState is the decoded one-pass message: the length counter mod
+// 2ᵏ−1 plus one parity bit for each of the 2ᵏ−1 candidate target letters
+// (σ_{2ᵏ−1} can never be the target because the modulus is 2ᵏ−1).
+type parityOnePassState struct {
+	count    uint64
+	parities []bool
+}
+
+func (p *ParityOnePass) encode(s parityOnePassState) bits.String {
+	var w bits.Writer
+	w.WriteUint(s.count, p.language.K())
+	for _, b := range s.parities {
+		w.WriteBool(b)
+	}
+	return w.String()
+}
+
+func (p *ParityOnePass) decode(payload bits.String) (parityOnePassState, error) {
+	r := bits.NewReader(payload)
+	var s parityOnePassState
+	var err error
+	if s.count, err = r.ReadUint(p.language.K()); err != nil {
+		return s, fmt.Errorf("parity-one-pass: decode counter: %w", err)
+	}
+	s.parities = make([]bool, p.language.Modulus())
+	for i := range s.parities {
+		if s.parities[i], err = r.ReadBool(); err != nil {
+			return s, fmt.Errorf("parity-one-pass: decode parity %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// apply folds one processor's letter into the state.
+func (p *ParityOnePass) apply(s parityOnePassState, letterIdx int) parityOnePassState {
+	out := parityOnePassState{
+		count:    (s.count + 1) % uint64(p.language.Modulus()),
+		parities: append([]bool(nil), s.parities...),
+	}
+	if letterIdx < len(out.parities) {
+		out.parities[letterIdx] = !out.parities[letterIdx]
+	}
+	return out
+}
+
+// parityOnePassNode is the per-processor logic of the one-pass algorithm.
+type parityOnePassNode struct {
+	algo      *ParityOnePass
+	letterIdx int
+	leader    bool
+}
+
+// Start implements ring.Node.
+func (n *parityOnePassNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	initial := parityOnePassState{count: 0, parities: make([]bool, n.algo.language.Modulus())}
+	return []ring.Send{ring.SendForward(n.algo.encode(n.algo.apply(initial, n.letterIdx)))}, nil
+}
+
+// Receive implements ring.Node.
+func (n *parityOnePassNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	s, err := n.algo.decode(payload)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.IsLeader() {
+		// count == n mod (2ᵏ−1); every processor (the leader included) has
+		// folded in its letter's parity.
+		target := int(s.count)
+		if !s.parities[target] {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	return []ring.Send{ring.SendForward(n.algo.encode(n.algo.apply(s, n.letterIdx)))}, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// Recognizer is a distributed algorithm that decides membership of the ring's
+// pattern in a fixed language. Implementations construct per-processor nodes;
+// the engine does the running and the bit accounting.
+type Recognizer interface {
+	// Name identifies the algorithm (not the language) in reports.
+	Name() string
+	// Language is the language the recognizer decides.
+	Language() lang.Language
+	// Mode is the ring topology the algorithm needs.
+	Mode() ring.Mode
+	// NewNodes builds one node per processor for a ring labelled with word
+	// (word[i] is processor i's letter; processor 0 is the leader).
+	NewNodes(word lang.Word) ([]ring.Node, error)
+}
+
+// ErrEmptyWord is returned when a recognizer is run on an empty ring: the
+// model always has at least one processor (the leader).
+var ErrEmptyWord = errors.New("core: ring must hold at least one letter")
+
+// RunOptions configures a single recognition run.
+type RunOptions struct {
+	// Engine to execute on; defaults to the deterministic sequential engine.
+	Engine ring.Engine
+	// RecordTrace enables trace recording for information-state analyses.
+	RecordTrace bool
+}
+
+// Run executes the recognizer on a ring labelled with word and returns the
+// engine result (verdict plus exact bit accounting).
+func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) {
+	if len(word) == 0 {
+		return nil, ErrEmptyWord
+	}
+	if err := rec.Language().Alphabet().ValidWord(word); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nodes, err := rec.NewNodes(word)
+	if err != nil {
+		return nil, fmt.Errorf("core: build nodes for %s: %w", rec.Name(), err)
+	}
+	if len(nodes) != len(word) {
+		return nil, fmt.Errorf("core: %s built %d nodes for %d letters", rec.Name(), len(nodes), len(word))
+	}
+	engine := opts.Engine
+	if engine == nil {
+		engine = ring.NewSequentialEngine()
+	}
+	cfg := ring.Config{
+		Mode:           rec.Mode(),
+		Initiators:     ring.LeaderOnly,
+		RecordTrace:    opts.RecordTrace,
+		RequireVerdict: true,
+	}
+	res, err := engine.Run(cfg, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("core: run %s on %d letters: %w", rec.Name(), len(word), err)
+	}
+	return res, nil
+}
+
+// Check runs the recognizer and verifies the verdict against the language's
+// own membership predicate, returning the result on success.
+func Check(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) {
+	res, err := Run(rec, word, opts)
+	if err != nil {
+		return nil, err
+	}
+	want := ring.VerdictReject
+	if rec.Language().Contains(word) {
+		want = ring.VerdictAccept
+	}
+	if res.Verdict != want {
+		return nil, fmt.Errorf("core: %s decided %v on %q but the language says %v",
+			rec.Name(), res.Verdict, word.String(), want)
+	}
+	return res, nil
+}

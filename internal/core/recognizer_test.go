@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+func newRng() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}
+
+// runOn runs a recognizer on a word with the sequential engine and fails the
+// test on error.
+func runOn(t *testing.T, rec Recognizer, word lang.Word) *ring.Result {
+	t.Helper()
+	res, err := Run(rec, word, RunOptions{})
+	if err != nil {
+		t.Fatalf("%s on %q: %v", rec.Name(), word.String(), err)
+	}
+	return res
+}
+
+// checkAgainstLanguage verifies the recognizer's verdict against the
+// language's membership predicate on members and non-members across sizes.
+func checkAgainstLanguage(t *testing.T, rec Recognizer, sizes []int) {
+	t.Helper()
+	rng := newRng()
+	language := rec.Language()
+	for _, n := range sizes {
+		if w, ok := language.GenerateMember(n, rng); ok {
+			res := runOn(t, rec, w)
+			if res.Verdict != ring.VerdictAccept {
+				t.Errorf("%s rejected member %q (n=%d)", rec.Name(), w.String(), n)
+			}
+		}
+		if w, ok := language.GenerateNonMember(n, rng); ok {
+			res := runOn(t, rec, w)
+			if res.Verdict != ring.VerdictReject {
+				t.Errorf("%s accepted non-member %q (n=%d)", rec.Name(), w.String(), n)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	rec := NewThreeCounters()
+	if _, err := Run(rec, nil, RunOptions{}); !errors.Is(err, ErrEmptyWord) {
+		t.Errorf("empty word: err = %v, want ErrEmptyWord", err)
+	}
+	if _, err := Run(rec, lang.WordFromString("01x"), RunOptions{}); err == nil {
+		t.Error("expected error for letters outside the alphabet")
+	}
+}
+
+func TestCheckDetectsDisagreement(t *testing.T) {
+	// Check on a correct recognizer should pass.
+	rec := NewThreeCounters()
+	if _, err := Check(rec, lang.WordFromString("012"), RunOptions{}); err != nil {
+		t.Errorf("Check on member: %v", err)
+	}
+	if _, err := Check(rec, lang.WordFromString("021"), RunOptions{}); err != nil {
+		t.Errorf("Check on non-member: %v", err)
+	}
+}
+
+func TestRegularOnePassCorrectness(t *testing.T) {
+	regs, err := lang.StandardRegularLanguages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range regs {
+		rec := NewRegularOnePass(reg)
+		checkAgainstLanguage(t, rec, []int{1, 2, 3, 5, 8, 16, 33, 64})
+	}
+}
+
+func TestRegularOnePassBitComplexityIsExactlyLinear(t *testing.T) {
+	regs, err := lang.StandardRegularLanguages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRng()
+	for _, reg := range regs {
+		rec := NewRegularOnePass(reg)
+		for _, n := range []int{8, 64, 256} {
+			w, _, err := lang.MemberOrSkip(reg, n, 4, rng)
+			if err != nil {
+				w, _ = reg.GenerateNonMember(n, rng)
+			}
+			if w == nil {
+				continue
+			}
+			res := runOn(t, rec, w)
+			wantBits := rec.StateBits() * len(w)
+			if res.Stats.Bits != wantBits {
+				t.Errorf("%s/%s n=%d: bits = %d, want exactly ⌈log|Q|⌉·n = %d",
+					rec.Name(), reg.Name(), len(w), res.Stats.Bits, wantBits)
+			}
+			if res.Stats.Messages != len(w) {
+				t.Errorf("%s/%s n=%d: messages = %d, want n", rec.Name(), reg.Name(), len(w), res.Stats.Messages)
+			}
+		}
+	}
+}
+
+func TestCollectAllCorrectness(t *testing.T) {
+	for _, language := range []lang.Language{lang.NewWcW(), lang.NewAnBnCn(), lang.NewLg(lang.GrowthN15)} {
+		rec := NewCollectAll(language)
+		checkAgainstLanguage(t, rec, []int{1, 2, 3, 6, 9, 15, 30})
+	}
+}
+
+func TestCollectAllQuadraticGrowth(t *testing.T) {
+	rec := NewCollectAll(lang.NewAnBnCn())
+	rng := newRng()
+	small, _ := rec.Language().GenerateMember(30, rng)
+	big, _ := rec.Language().GenerateMember(120, rng)
+	resSmall := runOn(t, rec, small)
+	resBig := runOn(t, rec, big)
+	ratio := float64(resBig.Stats.Bits) / float64(resSmall.Stats.Bits)
+	// Quadrupling n should roughly 16x the bits (quadratic); allow slack for
+	// the δ-coded length prefixes.
+	if ratio < 10 || ratio > 22 {
+		t.Errorf("collect-all scaling ratio = %.1f, expected ≈16 (quadratic)", ratio)
+	}
+}
+
+func TestCountCorrectness(t *testing.T) {
+	rec := NewSquareCount()
+	checkAgainstLanguage(t, rec, []int{1, 2, 3, 4, 9, 10, 16, 25, 26, 100})
+}
+
+func TestCountBitComplexityIsNLogN(t *testing.T) {
+	rec := NewSquareCount()
+	rng := newRng()
+	for _, n := range []int{64, 256, 1024} {
+		w := lang.RandomWord(rec.Language().Alphabet(), n, rng)
+		res := runOn(t, rec, w)
+		// Each of the n messages carries a δ-coded counter ≤ n, so the total
+		// is at most n · (log n + 2 log log n + 2) and at least n·⌊log n⌋/2.
+		upper := float64(n) * (3*log2(float64(n)) + 4)
+		lower := float64(n) * log2(float64(n)) / 2
+		if float64(res.Stats.Bits) > upper || float64(res.Stats.Bits) < lower {
+			t.Errorf("count n=%d: bits = %d outside [%f, %f]", n, res.Stats.Bits, lower, upper)
+		}
+	}
+}
+
+func TestThreeCountersCorrectness(t *testing.T) {
+	rec := NewThreeCounters()
+	checkAgainstLanguage(t, rec, []int{1, 2, 3, 4, 5, 6, 9, 12, 30, 60})
+	// Explicit adversarial cases.
+	cases := map[string]ring.Verdict{
+		"012":       ring.VerdictAccept,
+		"001122":    ring.VerdictAccept,
+		"010212":    ring.VerdictReject, // right counts, wrong order
+		"001022":    ring.VerdictReject,
+		"000112222": ring.VerdictReject, // wrong counts, right order
+		"222111000": ring.VerdictReject,
+	}
+	for w, want := range cases {
+		res := runOn(t, rec, lang.WordFromString(w))
+		if res.Verdict != want {
+			t.Errorf("three-counters(%q) = %v, want %v", w, res.Verdict, want)
+		}
+	}
+}
+
+func TestCompareWcWCorrectness(t *testing.T) {
+	rec := NewCompareWcW()
+	checkAgainstLanguage(t, rec, []int{1, 2, 3, 5, 7, 9, 15, 31, 64})
+	cases := map[string]ring.Verdict{
+		"c":       ring.VerdictAccept,
+		"aca":     ring.VerdictAccept,
+		"abcab":   ring.VerdictAccept,
+		"abcba":   ring.VerdictReject,
+		"abab":    ring.VerdictReject,
+		"ccc":     ring.VerdictReject,
+		"acacc":   ring.VerdictReject,
+		"aacaab":  ring.VerdictReject,
+		"aabcaab": ring.VerdictAccept,
+	}
+	for w, want := range cases {
+		res := runOn(t, rec, lang.WordFromString(w))
+		if res.Verdict != want {
+			t.Errorf("compare-wcw(%q) = %v, want %v", w, res.Verdict, want)
+		}
+	}
+}
+
+func TestCompareWcWCheaperThanCollectAllButStillQuadratic(t *testing.T) {
+	rng := newRng()
+	language := lang.NewWcW()
+	streaming := NewCompareWcW()
+	baseline := NewCollectAll(language)
+	word, _ := language.GenerateMember(201, rng)
+	resStreaming := runOn(t, streaming, word)
+	resBaseline := runOn(t, baseline, word)
+	if resStreaming.Stats.Bits >= resBaseline.Stats.Bits {
+		t.Errorf("streaming (%d bits) should beat collect-all (%d bits)",
+			resStreaming.Stats.Bits, resBaseline.Stats.Bits)
+	}
+	// Quadratic scaling: doubling n should ≈4x the bits.
+	word2, _ := language.GenerateMember(401, rng)
+	resStreaming2 := runOn(t, streaming, word2)
+	ratio := float64(resStreaming2.Stats.Bits) / float64(resStreaming.Stats.Bits)
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("compare-wcw scaling ratio = %.2f, expected ≈4 (quadratic)", ratio)
+	}
+}
+
+func TestLgRecognizerCorrectness(t *testing.T) {
+	for _, g := range lang.StandardGrowthFuncs() {
+		language := lang.NewLg(g)
+		checkAgainstLanguage(t, NewLgRecognizer(language), []int{1, 2, 4, 9, 16, 33, 64})
+		checkAgainstLanguage(t, NewLgRecognizerKnownN(language), []int{1, 2, 4, 9, 16, 33, 64})
+	}
+}
+
+func TestLgKnownNSkipsCountingPass(t *testing.T) {
+	language := lang.NewLg(lang.GrowthN15)
+	rng := newRng()
+	word, _ := language.GenerateMember(256, rng)
+	unknown := runOn(t, NewLgRecognizer(language), word)
+	known := runOn(t, NewLgRecognizerKnownN(language), word)
+	if known.Stats.Messages != len(word) {
+		t.Errorf("known-n should use exactly one pass (n messages), got %d", known.Stats.Messages)
+	}
+	if unknown.Stats.Messages != 2*len(word) {
+		t.Errorf("unknown-n should use exactly two passes (2n messages), got %d", unknown.Stats.Messages)
+	}
+	if known.Stats.Bits >= unknown.Stats.Bits {
+		t.Errorf("known-n (%d bits) should be cheaper than unknown-n (%d bits)",
+			known.Stats.Bits, unknown.Stats.Bits)
+	}
+}
+
+func TestParityRecognizersCorrectness(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		pl, err := lang.NewParityIndex(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstLanguage(t, NewParityOnePass(pl), []int{1, 2, 3, 7, 16, 40})
+		checkAgainstLanguage(t, NewParityTwoPass(pl), []int{1, 2, 3, 7, 16, 40})
+	}
+}
+
+func TestParityBitFormulasMatchPaper(t *testing.T) {
+	rng := newRng()
+	n := 120
+	for _, k := range []int{1, 2, 3, 4, 6, 8} {
+		pl, err := lang.NewParityIndex(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		word, ok := pl.GenerateMember(n, rng)
+		if !ok {
+			t.Fatalf("k=%d: no member of length %d", k, n)
+		}
+		two := runOn(t, NewParityTwoPass(pl), word)
+		one := runOn(t, NewParityOnePass(pl), word)
+		if want := (2*k + 1) * n; two.Stats.Bits != want {
+			t.Errorf("k=%d two-pass bits = %d, want (2k+1)n = %d", k, two.Stats.Bits, want)
+		}
+		if want := (k + (1 << uint(k)) - 1) * n; one.Stats.Bits != want {
+			t.Errorf("k=%d one-pass bits = %d, want (k+2^k-1)n = %d", k, one.Stats.Bits, want)
+		}
+	}
+}
+
+func TestParityAgreement(t *testing.T) {
+	// The two algorithms must agree on every word.
+	pl, err := lang.NewParityIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRng()
+	one := NewParityOnePass(pl)
+	two := NewParityTwoPass(pl)
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		w := lang.RandomWord(pl.Alphabet(), n, rng)
+		r1 := runOn(t, one, w)
+		r2 := runOn(t, two, w)
+		if r1.Verdict != r2.Verdict {
+			t.Errorf("one-pass and two-pass disagree on %q", w.String())
+		}
+		want := ring.VerdictReject
+		if pl.Contains(w) {
+			want = ring.VerdictAccept
+		}
+		if r1.Verdict != want {
+			t.Errorf("verdict on %q = %v, language says %v", w.String(), r1.Verdict, want)
+		}
+	}
+}
+
+func log2(x float64) float64 {
+	l := 0.0
+	for x > 1 {
+		x /= 2
+		l++
+	}
+	return l
+}

@@ -1,0 +1,14 @@
+// Package election implements leader election on the unidirectional ring —
+// the substrate that establishes the paper's "ring with a leader" premise.
+// The introduction of the paper points to the O(n log n)-message algorithms
+// of Dolev–Klawe–Rodeh [DKR] and the matching lower bound [PKR]; this package
+// provides
+//
+//   - ChangRoberts: the simple id-forwarding algorithm, O(n log n) messages on
+//     average but Θ(n²) in the worst case, and
+//   - DolevKlaweRodeh: the phase-based algorithm with O(n log n) messages in
+//     the worst case,
+//
+// both running on the same ring engine (every processor initiates, and the
+// run terminates by quiescence once the winner's announcement has circulated).
+package election

@@ -1,0 +1,279 @@
+package election
+
+import (
+	"errors"
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/ring"
+)
+
+// Protocol selects the election algorithm.
+type Protocol int
+
+const (
+	// ChangRoberts is the simple id-forwarding algorithm (Θ(n²) worst case).
+	ChangRoberts Protocol = iota + 1
+	// DolevKlaweRodeh is the phase-based O(n log n) algorithm from [DKR],
+	// on the unidirectional ring.
+	DolevKlaweRodeh
+	// HirschbergSinclair is the O(n log n) probe/reply algorithm on the
+	// bidirectional ring.
+	HirschbergSinclair
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ChangRoberts:
+		return "chang-roberts"
+	case DolevKlaweRodeh:
+		return "dolev-klawe-rodeh"
+	case HirschbergSinclair:
+		return "hirschberg-sinclair"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode returns the ring topology the protocol requires.
+func (p Protocol) Mode() ring.Mode {
+	if p == HirschbergSinclair {
+		return ring.Bidirectional
+	}
+	return ring.Unidirectional
+}
+
+// Outcome is the result of one election run.
+type Outcome struct {
+	// WinnerIndex is the ring position of the elected processor.
+	WinnerIndex int
+	// WinnerID is the identifier the winner announced.
+	WinnerID uint64
+	// Stats is the engine's bit/message accounting for the run.
+	Stats *ring.Stats
+}
+
+// Errors reported by Run.
+var (
+	ErrDuplicateIDs = errors.New("election: identifiers must be distinct")
+	ErrNoWinner     = errors.New("election: no processor was elected")
+	ErrManyWinners  = errors.New("election: more than one processor was elected")
+	ErrDisagreement = errors.New("election: processors disagree on the winner")
+)
+
+// electionNode is the common read-back interface of both protocols' nodes.
+type electionNode interface {
+	ring.Node
+	isElected() bool
+	knownLeader() (uint64, bool)
+}
+
+// Run executes the protocol on a ring in which processor i holds the
+// identifier ids[i]. Every processor initiates; the run terminates by
+// quiescence after the winner's announcement has circulated.
+func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
+	if len(ids) == 0 {
+		return nil, ring.ErrNoProcessors
+	}
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("%w: %d appears twice", ErrDuplicateIDs, id)
+		}
+		seen[id] = true
+	}
+
+	nodes := make([]ring.Node, len(ids))
+	inspect := make([]electionNode, len(ids))
+	for i, id := range ids {
+		var n electionNode
+		switch p {
+		case ChangRoberts:
+			n = &changRobertsNode{id: id}
+		case DolevKlaweRodeh:
+			n = &dkrNode{id: id, value: id, active: true}
+		case HirschbergSinclair:
+			n = &hsNode{id: id}
+		default:
+			return nil, fmt.Errorf("election: unknown protocol %d", p)
+		}
+		nodes[i] = n
+		inspect[i] = n
+	}
+
+	if engine == nil {
+		engine = ring.NewSequentialEngine()
+	}
+	res, err := engine.Run(ring.Config{
+		Mode:       p.Mode(),
+		Initiators: ring.AllProcessors,
+	}, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("election: %s: %w", p, err)
+	}
+
+	outcome := &Outcome{WinnerIndex: -1, Stats: res.Stats}
+	for i, n := range inspect {
+		if n.isElected() {
+			if outcome.WinnerIndex >= 0 {
+				return nil, ErrManyWinners
+			}
+			outcome.WinnerIndex = i
+			outcome.WinnerID = ids[i]
+		}
+	}
+	if outcome.WinnerIndex < 0 {
+		return nil, ErrNoWinner
+	}
+	for i, n := range inspect {
+		id, ok := n.knownLeader()
+		if !ok || id != outcome.WinnerID {
+			return nil, fmt.Errorf("%w: processor %d", ErrDisagreement, i)
+		}
+	}
+	return outcome, nil
+}
+
+// Message tags shared by both protocols.
+const (
+	tagCandidate    = false
+	tagAnnouncement = true
+)
+
+func encodeElection(announcement bool, value uint64) bits.String {
+	var w bits.Writer
+	w.WriteBool(announcement)
+	w.WriteDeltaValue(value)
+	return w.String()
+}
+
+func decodeElection(payload bits.String) (announcement bool, value uint64, err error) {
+	r := bits.NewReader(payload)
+	if announcement, err = r.ReadBool(); err != nil {
+		return false, 0, fmt.Errorf("election: decode tag: %w", err)
+	}
+	if value, err = r.ReadDeltaValue(); err != nil {
+		return false, 0, fmt.Errorf("election: decode value: %w", err)
+	}
+	return announcement, value, nil
+}
+
+// changRobertsNode implements the Chang–Roberts protocol: forward identifiers
+// larger than your own, swallow smaller ones, win when your own identifier
+// comes back.
+type changRobertsNode struct {
+	id       uint64
+	elected  bool
+	leaderID uint64
+	hasLead  bool
+}
+
+var _ electionNode = (*changRobertsNode)(nil)
+
+func (n *changRobertsNode) isElected() bool { return n.elected }
+
+func (n *changRobertsNode) knownLeader() (uint64, bool) { return n.leaderID, n.hasLead }
+
+// Start implements ring.Node.
+func (n *changRobertsNode) Start(_ *ring.Context) ([]ring.Send, error) {
+	return []ring.Send{ring.SendForward(encodeElection(tagCandidate, n.id))}, nil
+}
+
+// Receive implements ring.Node.
+func (n *changRobertsNode) Receive(_ *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	announcement, value, err := decodeElection(payload)
+	if err != nil {
+		return nil, err
+	}
+	if announcement {
+		if n.elected && value == n.id {
+			// The announcement made it all the way around; quiesce.
+			return nil, nil
+		}
+		n.leaderID, n.hasLead = value, true
+		return []ring.Send{ring.SendForward(payload)}, nil
+	}
+	switch {
+	case value > n.id:
+		return []ring.Send{ring.SendForward(payload)}, nil
+	case value < n.id:
+		// Swallow: a smaller candidate cannot win.
+		return nil, nil
+	default:
+		n.elected = true
+		n.leaderID, n.hasLead = n.id, true
+		return []ring.Send{ring.SendForward(encodeElection(tagAnnouncement, n.id))}, nil
+	}
+}
+
+// dkrNode implements the Dolev–Klawe–Rodeh protocol. Active processors
+// compare their current value with the values of their two nearest active
+// predecessors; the middle value survives as the new value of the downstream
+// processor, and the processor that sees its own current value return is the
+// unique survivor and wins.
+type dkrNode struct {
+	id     uint64
+	value  uint64
+	active bool
+	// awaitingSecond is true after the first candidate of a phase arrived.
+	awaitingSecond bool
+	firstValue     uint64
+
+	elected  bool
+	leaderID uint64
+	hasLead  bool
+}
+
+var _ electionNode = (*dkrNode)(nil)
+
+func (n *dkrNode) isElected() bool { return n.elected }
+
+func (n *dkrNode) knownLeader() (uint64, bool) { return n.leaderID, n.hasLead }
+
+// Start implements ring.Node.
+func (n *dkrNode) Start(_ *ring.Context) ([]ring.Send, error) {
+	return []ring.Send{ring.SendForward(encodeElection(tagCandidate, n.value))}, nil
+}
+
+// Receive implements ring.Node.
+func (n *dkrNode) Receive(_ *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
+	announcement, value, err := decodeElection(payload)
+	if err != nil {
+		return nil, err
+	}
+	if announcement {
+		if n.elected && value == n.id {
+			return nil, nil
+		}
+		n.leaderID, n.hasLead = value, true
+		return []ring.Send{ring.SendForward(payload)}, nil
+	}
+	if !n.active {
+		// Passive processors are pure relays.
+		return []ring.Send{ring.SendForward(payload)}, nil
+	}
+	if !n.awaitingSecond {
+		if value == n.value {
+			// Our value travelled the whole ring and arrived as the first
+			// value of a phase: we are the only remaining active processor,
+			// hold the maximum, and win.
+			n.elected = true
+			n.leaderID, n.hasLead = n.id, true
+			return []ring.Send{ring.SendForward(encodeElection(tagAnnouncement, n.id))}, nil
+		}
+		n.firstValue = value
+		n.awaitingSecond = true
+		return []ring.Send{ring.SendForward(encodeElection(tagCandidate, value))}, nil
+	}
+	secondValue := value
+	n.awaitingSecond = false
+	if n.firstValue > n.value && n.firstValue > secondValue {
+		// The nearest active predecessor's value is a local maximum; adopt it
+		// and stay active for the next phase.
+		n.value = n.firstValue
+		return []ring.Send{ring.SendForward(encodeElection(tagCandidate, n.value))}, nil
+	}
+	n.active = false
+	return nil, nil
+}

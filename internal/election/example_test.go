@@ -1,0 +1,21 @@
+package election_test
+
+import (
+	"fmt"
+	"log"
+
+	"ringlang/internal/election"
+)
+
+// ExampleRun elects a leader with Dolev–Klawe–Rodeh on a five-processor ring.
+// The winner is announced to every processor, establishing the "ring with a
+// leader" premise the paper starts from.
+func ExampleRun() {
+	ids := []uint64{17, 4, 42, 8, 23}
+	out, err := election.Run(election.DolevKlaweRodeh, ids, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("winner id=%d messages=%d\n", out.WinnerID, out.Stats.Messages)
+	// Output: winner id=17 messages=30
+}

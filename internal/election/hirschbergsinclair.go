@@ -1,0 +1,128 @@
+package election
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/ring"
+)
+
+// hsNode implements the Hirschberg–Sinclair algorithm on a bidirectional
+// ring: in phase k an active candidate probes 2ᵏ hops in both directions; the
+// probe is relayed only past smaller identifiers and is answered with a reply
+// when it exhausts its hop budget. A candidate that gets both replies starts
+// the next phase; a candidate whose probe travels all the way back to itself
+// holds the maximum identifier and wins. Message complexity O(n log n).
+type hsNode struct {
+	id uint64
+
+	phase       int
+	repliesSeen int
+	elected     bool
+	leaderID    uint64
+	hasLead     bool
+}
+
+var _ electionNode = (*hsNode)(nil)
+
+// HS message kinds.
+const (
+	hsProbe uint64 = iota
+	hsReply
+	hsAnnounce
+)
+
+// encodeHS frames a Hirschberg–Sinclair message: kind (2 bits), δ-coded id,
+// δ-coded hop budget (probes only).
+func encodeHS(kind, id, hops uint64) bits.String {
+	var w bits.Writer
+	w.WriteUint(kind, 2)
+	w.WriteDeltaValue(id)
+	if kind == hsProbe {
+		w.WriteDeltaValue(hops)
+	}
+	return w.String()
+}
+
+func decodeHS(payload bits.String) (kind, id, hops uint64, err error) {
+	r := bits.NewReader(payload)
+	if kind, err = r.ReadUint(2); err != nil {
+		return 0, 0, 0, fmt.Errorf("election: decode hs kind: %w", err)
+	}
+	if id, err = r.ReadDeltaValue(); err != nil {
+		return 0, 0, 0, fmt.Errorf("election: decode hs id: %w", err)
+	}
+	if kind == hsProbe {
+		if hops, err = r.ReadDeltaValue(); err != nil {
+			return 0, 0, 0, fmt.Errorf("election: decode hs hops: %w", err)
+		}
+	}
+	return kind, id, hops, nil
+}
+
+func (n *hsNode) isElected() bool { return n.elected }
+
+func (n *hsNode) knownLeader() (uint64, bool) { return n.leaderID, n.hasLead }
+
+// probes returns the two probes of the current phase.
+func (n *hsNode) probes() []ring.Send {
+	hops := uint64(1) << uint(n.phase)
+	payload := encodeHS(hsProbe, n.id, hops)
+	return []ring.Send{ring.SendForward(payload), ring.SendBackward(payload)}
+}
+
+// Start implements ring.Node.
+func (n *hsNode) Start(_ *ring.Context) ([]ring.Send, error) {
+	return n.probes(), nil
+}
+
+// Receive implements ring.Node.
+func (n *hsNode) Receive(_ *ring.Context, from ring.Direction, payload bits.String) ([]ring.Send, error) {
+	kind, id, hops, err := decodeHS(payload)
+	if err != nil {
+		return nil, err
+	}
+	away := from.Opposite() // keep travelling away from the sender
+	back := from            // back towards the sender
+	switch kind {
+	case hsAnnounce:
+		if n.elected && id == n.id {
+			return nil, nil
+		}
+		n.leaderID, n.hasLead = id, true
+		return []ring.Send{{Dir: away, Payload: payload}}, nil
+	case hsProbe:
+		switch {
+		case id == n.id:
+			// Our own probe came all the way around: we hold the maximum.
+			n.elected = true
+			n.leaderID, n.hasLead = n.id, true
+			return []ring.Send{ring.SendForward(encodeHS(hsAnnounce, n.id, 0))}, nil
+		case id < n.id:
+			// Swallow probes of smaller candidates.
+			return nil, nil
+		case hops > 1:
+			return []ring.Send{{Dir: away, Payload: encodeHS(hsProbe, id, hops-1)}}, nil
+		default:
+			// Budget exhausted: answer with a reply travelling back.
+			return []ring.Send{{Dir: back, Payload: encodeHS(hsReply, id, 0)}}, nil
+		}
+	case hsReply:
+		if id != n.id {
+			return []ring.Send{{Dir: away, Payload: payload}}, nil
+		}
+		if n.elected {
+			return nil, nil
+		}
+		n.repliesSeen++
+		if n.repliesSeen < 2 {
+			return nil, nil
+		}
+		// Both probes survived this phase: advance to the next one.
+		n.repliesSeen = 0
+		n.phase++
+		return n.probes(), nil
+	default:
+		return nil, fmt.Errorf("election: unknown hs message kind %d", kind)
+	}
+}

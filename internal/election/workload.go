@@ -1,0 +1,43 @@
+package election
+
+import "math/rand"
+
+// RandomIDs returns n distinct pseudo-random identifiers.
+func RandomIDs(n int, rng *rand.Rand) []uint64 {
+	ids := make([]uint64, n)
+	used := make(map[uint64]bool, n)
+	for i := range ids {
+		for {
+			id := uint64(rng.Int63n(1 << 40))
+			if !used[id] {
+				used[id] = true
+				ids[i] = id
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// AscendingIDs returns the identifiers 1..n in ring order. For Chang–Roberts
+// (candidates travel forward and are swallowed by any larger identifier) this
+// is the best case: every candidate except the maximum is swallowed after a
+// single hop.
+func AscendingIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	return ids
+}
+
+// DescendingIDs returns the identifiers n..1 in ring order. For Chang–Roberts
+// this is the worst case: the candidate at distance k behind the maximum
+// travels n−k hops before being swallowed, for Θ(n²) messages in total.
+func DescendingIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(n - i)
+	}
+	return ids
+}

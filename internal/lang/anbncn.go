@@ -1,0 +1,92 @@
+package lang
+
+import "math/rand"
+
+// AnBnCn is the language {0ᵏ1ᵏ2ᵏ : k ≥ 0} from Section 7 note 2 of the
+// paper: context-sensitive, not context-free, yet recognizable on the ring
+// with O(n log n) bits using three counters.
+type AnBnCn struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*AnBnCn)(nil)
+
+// NewAnBnCn constructs the language over {0, 1, 2}.
+func NewAnBnCn() *AnBnCn {
+	return &AnBnCn{alphabet: NewAlphabet('0', '1', '2')}
+}
+
+// Name implements Language.
+func (l *AnBnCn) Name() string { return "0^k1^k2^k" }
+
+// Alphabet implements Language.
+func (l *AnBnCn) Alphabet() Alphabet { return l.alphabet }
+
+// Contains implements Language.
+func (l *AnBnCn) Contains(word Word) bool {
+	n := len(word)
+	if n%3 != 0 {
+		return false
+	}
+	k := n / 3
+	for i, letter := range word {
+		var want Letter
+		switch {
+		case i < k:
+			want = '0'
+		case i < 2*k:
+			want = '1'
+		default:
+			want = '2'
+		}
+		if letter != want {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateMember implements Language. Members exist iff n is a multiple of 3
+// (including the empty word).
+func (l *AnBnCn) GenerateMember(n int, _ *rand.Rand) (Word, bool) {
+	if n < 0 || n%3 != 0 {
+		return nil, false
+	}
+	k := n / 3
+	w := make(Word, 0, n)
+	for i := 0; i < k; i++ {
+		w = append(w, '0')
+	}
+	for i := 0; i < k; i++ {
+		w = append(w, '1')
+	}
+	for i := 0; i < k; i++ {
+		w = append(w, '2')
+	}
+	return w, true
+}
+
+// GenerateNonMember implements Language. Prefers near-misses: correct shape
+// with one block length off by one, or one letter corrupted.
+func (l *AnBnCn) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	if n%3 != 0 {
+		// Any word of this length is a non-member; use the closest block shape.
+		k := n / 3
+		w := make(Word, 0, n)
+		for len(w) < k {
+			w = append(w, '0')
+		}
+		for len(w) < 2*k {
+			w = append(w, '1')
+		}
+		for len(w) < n {
+			w = append(w, '2')
+		}
+		return w, true
+	}
+	member, _ := l.GenerateMember(n, rng)
+	return mutateOneLetter(l.alphabet, member, rng), true
+}

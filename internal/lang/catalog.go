@@ -1,0 +1,120 @@
+package lang
+
+import (
+	"fmt"
+
+	"ringlang/internal/automata"
+)
+
+// StandardRegularLanguages returns the fixed set of regular languages used by
+// the E1 experiment and the examples. Each entry exercises a different DFA
+// size so the ⌈log |Q|⌉ constant of Theorem 1's algorithm varies.
+func StandardRegularLanguages() ([]*Regular, error) {
+	var out []*Regular
+
+	parity, err := NewRegular("even-ones", automata.NewParityDFA())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, parity)
+
+	mod5DFA, err := automata.NewModCounterDFA(5)
+	if err != nil {
+		return nil, err
+	}
+	mod5, err := NewRegular("ones-div-5", mod5DFA)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mod5)
+
+	abStar, err := NewRegularFromRegex("(ab)*", "(ab)*")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, abStar)
+
+	endsABB, err := NewRegularFromRegex("ends-abb", "(a|b)*abb")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, endsABB)
+
+	substrDFA, err := automata.NewContainsSubstringDFA([]rune{'a', 'b'}, []rune("abbab"))
+	if err != nil {
+		return nil, err
+	}
+	substr, err := NewRegular("contains-abbab", substrDFA)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, substr)
+
+	lenModDFA, err := automata.NewLengthModDFA([]rune{'a', 'b'}, 7, 0)
+	if err != nil {
+		return nil, err
+	}
+	lenMod, err := NewRegular("length-div-7", lenModDFA)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lenMod)
+
+	return out, nil
+}
+
+// StandardGrowthFuncs returns the growth functions swept by the hierarchy
+// experiment (E5/E6), bottom to top.
+func StandardGrowthFuncs() []GrowthFunc {
+	return []GrowthFunc{GrowthNLogN, GrowthN125, GrowthN15, GrowthN175, GrowthN2}
+}
+
+// ByName looks a language up among the fixed non-regular languages plus the
+// standard regular set; it is used by the cmd tools.
+func ByName(name string) (Language, error) {
+	switch name {
+	case "wcw":
+		return NewWcW(), nil
+	case "0^k1^k2^k", "anbncn":
+		return NewAnBnCn(), nil
+	case "0^k1^k", "anbn":
+		return NewAnBn(), nil
+	case "dyck":
+		return NewDyck(), nil
+	case "palindrome":
+		return NewPalindrome(), nil
+	case "length-is-square":
+		return NewPerfectSquareLength(), nil
+	}
+	for _, g := range StandardGrowthFuncs() {
+		l := NewLg(g)
+		if l.Name() == name {
+			return l, nil
+		}
+	}
+	regs, err := StandardRegularLanguages()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range regs {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("lang: unknown language %q", name)
+}
+
+// CatalogNames lists every language name resolvable by ByName.
+func CatalogNames() []string {
+	names := []string{"wcw", "anbncn", "anbn", "dyck", "palindrome", "length-is-square"}
+	for _, g := range StandardGrowthFuncs() {
+		names = append(names, NewLg(g).Name())
+	}
+	regs, err := StandardRegularLanguages()
+	if err == nil {
+		for _, r := range regs {
+			names = append(names, r.Name())
+		}
+	}
+	return names
+}

@@ -1,0 +1,95 @@
+package lang
+
+import "math/rand"
+
+// Dyck is the language of balanced bracket strings over {(, )} — a classic
+// non-regular (context-free) language. On the ring it is recognizable with a
+// single δ-coded depth counter, i.e. O(n log n) bits, which puts it at the
+// bottom of the non-regular class alongside {0ᵏ1ᵏ2ᵏ} (Section 7 note 2's
+// point that the hierarchy ignores the Chomsky hierarchy).
+type Dyck struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*Dyck)(nil)
+
+// NewDyck constructs the language over {'(', ')'}.
+func NewDyck() *Dyck {
+	return &Dyck{alphabet: NewAlphabet('(', ')')}
+}
+
+// Name implements Language.
+func (l *Dyck) Name() string { return "dyck" }
+
+// Alphabet implements Language.
+func (l *Dyck) Alphabet() Alphabet { return l.alphabet }
+
+// Contains implements Language.
+func (l *Dyck) Contains(w Word) bool {
+	depth := 0
+	for _, letter := range w {
+		switch letter {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return depth == 0
+}
+
+// GenerateMember implements Language: a uniformly-shaped balanced string built
+// by tracking the remaining open/close budget.
+func (l *Dyck) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 0 || n%2 != 0 {
+		return nil, false
+	}
+	w := make(Word, 0, n)
+	open, depth := n/2, 0
+	for len(w) < n {
+		remaining := n - len(w)
+		// We may open if budget remains; we may close if depth > 0 and the
+		// remaining closes still fit.
+		canOpen := open > 0
+		canClose := depth > 0 && depth <= remaining
+		switch {
+		case canOpen && canClose:
+			if rng.Intn(2) == 0 {
+				w, open, depth = append(w, '('), open-1, depth+1
+			} else {
+				w, depth = append(w, ')'), depth-1
+			}
+		case canOpen:
+			w, open, depth = append(w, '('), open-1, depth+1
+		default:
+			w, depth = append(w, ')'), depth-1
+		}
+	}
+	return w, true
+}
+
+// GenerateNonMember implements Language.
+func (l *Dyck) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	if n%2 != 0 {
+		// Odd length: any bracket string is unbalanced.
+		return RandomWord(l.alphabet, n, rng), true
+	}
+	w, _ := l.GenerateMember(n, rng)
+	// Swap one '(' to ')' so the total count breaks.
+	for attempts := 0; attempts < n; attempts++ {
+		pos := rng.Intn(n)
+		if w[pos] == '(' {
+			w[pos] = ')'
+			return w, true
+		}
+	}
+	return nil, false
+}

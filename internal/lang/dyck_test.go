@@ -1,0 +1,60 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDyckMembership(t *testing.T) {
+	l := NewDyck()
+	yes := []string{"", "()", "()()", "(())", "(()())()", "((()))"}
+	no := []string{"(", ")", ")(", "(()", "())", "())(", "((())"}
+	for _, w := range yes {
+		if !l.Contains(WordFromString(w)) {
+			t.Errorf("dyck should contain %q", w)
+		}
+	}
+	for _, w := range no {
+		if l.Contains(WordFromString(w)) {
+			t.Errorf("dyck should not contain %q", w)
+		}
+	}
+	if l.Contains(WordFromString("(a)")) {
+		t.Error("foreign letters must not be members")
+	}
+}
+
+func TestDyckGenerators(t *testing.T) {
+	l := NewDyck()
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{2, 4, 10, 64, 257, 500} {
+		if w, ok := l.GenerateMember(n, rng); ok {
+			if len(w) != n || !l.Contains(w) {
+				t.Errorf("GenerateMember(%d) = %q invalid", n, w.String())
+			}
+		} else if n%2 == 0 {
+			t.Errorf("member of even length %d should exist", n)
+		}
+		nm, ok := l.GenerateNonMember(n, rng)
+		if !ok || len(nm) != n || l.Contains(nm) {
+			t.Errorf("GenerateNonMember(%d) failed", n)
+		}
+	}
+	if _, ok := l.GenerateMember(7, rng); ok {
+		t.Error("no balanced string of odd length exists")
+	}
+}
+
+func TestQuickDyckGeneratorAlwaysBalanced(t *testing.T) {
+	l := NewDyck()
+	rng := rand.New(rand.NewSource(11))
+	f := func(raw uint8) bool {
+		n := 2 * (int(raw%100) + 1)
+		w, ok := l.GenerateMember(n, rng)
+		return ok && l.Contains(w) && len(w) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

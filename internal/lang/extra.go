@@ -1,0 +1,140 @@
+package lang
+
+import "math/rand"
+
+// AnBn is the context-free language {0ᵏ1ᵏ : k ≥ 0}. It is used as the input
+// language of the 0ᵏ1ᵏ Turing machine in the Section 8 TM-to-ring
+// transformation experiments.
+type AnBn struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*AnBn)(nil)
+
+// NewAnBn constructs the language over {0, 1}.
+func NewAnBn() *AnBn {
+	return &AnBn{alphabet: NewAlphabet('0', '1')}
+}
+
+// Name implements Language.
+func (l *AnBn) Name() string { return "0^k1^k" }
+
+// Alphabet implements Language.
+func (l *AnBn) Alphabet() Alphabet { return l.alphabet }
+
+// Contains implements Language.
+func (l *AnBn) Contains(w Word) bool {
+	n := len(w)
+	if n%2 != 0 {
+		return false
+	}
+	for i, letter := range w {
+		want := Letter('0')
+		if i >= n/2 {
+			want = '1'
+		}
+		if letter != want {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateMember implements Language.
+func (l *AnBn) GenerateMember(n int, _ *rand.Rand) (Word, bool) {
+	if n < 0 || n%2 != 0 {
+		return nil, false
+	}
+	w := make(Word, n)
+	for i := range w {
+		if i < n/2 {
+			w[i] = '0'
+		} else {
+			w[i] = '1'
+		}
+	}
+	return w, true
+}
+
+// GenerateNonMember implements Language.
+func (l *AnBn) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	if n%2 != 0 {
+		w := make(Word, n)
+		for i := range w {
+			if i <= n/2 {
+				w[i] = '0'
+			} else {
+				w[i] = '1'
+			}
+		}
+		return w, true
+	}
+	member, _ := l.GenerateMember(n, rng)
+	return mutateOneLetter(l.alphabet, member, rng), true
+}
+
+// Palindrome is the language of palindromes over {a, b}, the second workload
+// of the TM-to-ring transformation (a classic Θ(n²)-time one-tape TM
+// language, mirroring the Hartmanis/Hennie/Trachtenbrot results the paper
+// compares itself to).
+type Palindrome struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*Palindrome)(nil)
+
+// NewPalindrome constructs the language over {a, b}.
+func NewPalindrome() *Palindrome {
+	return &Palindrome{alphabet: NewAlphabet('a', 'b')}
+}
+
+// Name implements Language.
+func (l *Palindrome) Name() string { return "palindrome" }
+
+// Alphabet implements Language.
+func (l *Palindrome) Alphabet() Alphabet { return l.alphabet }
+
+// Contains implements Language.
+func (l *Palindrome) Contains(w Word) bool {
+	if err := l.alphabet.ValidWord(w); err != nil {
+		return false
+	}
+	for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+		if w[i] != w[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateMember implements Language.
+func (l *Palindrome) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 0 {
+		return nil, false
+	}
+	w := make(Word, n)
+	for i := 0; i < (n+1)/2; i++ {
+		w[i] = l.alphabet[rng.Intn(len(l.alphabet))]
+		w[n-1-i] = w[i]
+	}
+	return w, true
+}
+
+// GenerateNonMember implements Language.
+func (l *Palindrome) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 2 {
+		return nil, false
+	}
+	w, _ := l.GenerateMember(n, rng)
+	// Break the mirror symmetry at one position in the first half.
+	i := rng.Intn(n / 2)
+	if w[i] == 'a' {
+		w[i] = 'b'
+	} else {
+		w[i] = 'a'
+	}
+	return w, true
+}

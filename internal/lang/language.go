@@ -1,0 +1,69 @@
+package lang
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Language is a decidable language over a finite alphabet together with word
+// generators for benchmarking. Implementations must be deterministic given
+// the rng they are handed.
+type Language interface {
+	// Name is a short identifier used in reports and benchmarks.
+	Name() string
+	// Alphabet is the language's alphabet.
+	Alphabet() Alphabet
+	// Contains reports membership of the word. Words containing letters
+	// outside the alphabet are never members.
+	Contains(w Word) bool
+	// GenerateMember produces a member word of exactly length n, or false if
+	// no member of that length exists.
+	GenerateMember(n int, rng *rand.Rand) (Word, bool)
+	// GenerateNonMember produces a non-member word of exactly length n, or
+	// false if every word of that length is a member.
+	GenerateNonMember(n int, rng *rand.Rand) (Word, bool)
+}
+
+// ErrNoWordOfLength is returned by helpers when a language has no
+// member/non-member of the requested length.
+var ErrNoWordOfLength = errors.New("lang: no word of the requested length")
+
+// RandomWord returns a uniformly random word of length n over the alphabet.
+func RandomWord(a Alphabet, n int, rng *rand.Rand) Word {
+	w := make(Word, n)
+	for i := range w {
+		w[i] = a[rng.Intn(len(a))]
+	}
+	return w
+}
+
+// MemberOrSkip returns a member of length n, trying nearby lengths (n, n+1,
+// n+2, ...) up to n+window if the exact length has no member. It returns the
+// word and its actual length. This keeps benchmark sweeps simple for
+// languages such as 0ᵏ1ᵏ2ᵏ that only have members at certain lengths.
+func MemberOrSkip(l Language, n, window int, rng *rand.Rand) (Word, int, error) {
+	for d := 0; d <= window; d++ {
+		if w, ok := l.GenerateMember(n+d, rng); ok {
+			return w, n + d, nil
+		}
+	}
+	return nil, 0, ErrNoWordOfLength
+}
+
+// mutateOneLetter returns a copy of w with one position replaced by a
+// different letter from the alphabet; it is the generic near-miss generator.
+func mutateOneLetter(a Alphabet, w Word, rng *rand.Rand) Word {
+	if len(w) == 0 || len(a) < 2 {
+		return w.Clone()
+	}
+	out := w.Clone()
+	pos := rng.Intn(len(out))
+	old := out[pos]
+	for {
+		candidate := a[rng.Intn(len(a))]
+		if candidate != old {
+			out[pos] = candidate
+			return out
+		}
+	}
+}

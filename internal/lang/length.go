@@ -1,0 +1,75 @@
+package lang
+
+import "math/rand"
+
+// LengthLanguage is a language whose membership depends only on the word
+// length: w ∈ L iff pred(|w|). Length languages are the natural workload for
+// the counting algorithm (the leader learns n with O(n log n) bits); with a
+// non-regular length set (e.g. perfect squares) they give a concrete
+// non-regular language whose recognition cost is Θ(n log n), matching the
+// lower bound of Theorem 4.
+type LengthLanguage struct {
+	name     string
+	alphabet Alphabet
+	pred     func(n int) bool
+}
+
+var _ Language = (*LengthLanguage)(nil)
+
+// NewLengthLanguage builds a length language over {a, b}.
+func NewLengthLanguage(name string, pred func(n int) bool) *LengthLanguage {
+	return &LengthLanguage{
+		name:     name,
+		alphabet: NewAlphabet('a', 'b'),
+		pred:     pred,
+	}
+}
+
+// NewPerfectSquareLength returns the non-regular language of words whose
+// length is a perfect square.
+func NewPerfectSquareLength() *LengthLanguage {
+	return NewLengthLanguage("length-is-square", func(n int) bool {
+		if n < 0 {
+			return false
+		}
+		for k := 0; k*k <= n; k++ {
+			if k*k == n {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Name implements Language.
+func (l *LengthLanguage) Name() string { return l.name }
+
+// Alphabet implements Language.
+func (l *LengthLanguage) Alphabet() Alphabet { return l.alphabet }
+
+// Predicate exposes the length predicate (used by the counting recognizer).
+func (l *LengthLanguage) Predicate() func(n int) bool { return l.pred }
+
+// Contains implements Language.
+func (l *LengthLanguage) Contains(w Word) bool {
+	if err := l.alphabet.ValidWord(w); err != nil {
+		return false
+	}
+	return l.pred(len(w))
+}
+
+// GenerateMember implements Language.
+func (l *LengthLanguage) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	if !l.pred(n) {
+		return nil, false
+	}
+	return RandomWord(l.alphabet, n, rng), true
+}
+
+// GenerateNonMember implements Language.
+func (l *LengthLanguage) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if l.pred(n) {
+		return nil, false
+	}
+	return RandomWord(l.alphabet, n, rng), true
+}

@@ -1,0 +1,127 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ringlang/internal/automata"
+)
+
+// Regular is a regular language backed by a (minimized) DFA. It is the input
+// to the paper's Theorem 1 algorithm.
+type Regular struct {
+	name     string
+	alphabet Alphabet
+	dfa      *automata.DFA
+}
+
+var _ Language = (*Regular)(nil)
+
+// NewRegular wraps a DFA as a Language. The DFA is minimized internally so
+// that the Theorem 1 recognizer uses ⌈log |Q_min|⌉ bits per message.
+func NewRegular(name string, dfa *automata.DFA) (*Regular, error) {
+	if err := dfa.Validate(); err != nil {
+		return nil, fmt.Errorf("regular language %q: %w", name, err)
+	}
+	min := automata.Minimize(dfa)
+	return &Regular{
+		name:     name,
+		alphabet: NewAlphabet(min.Alphabet...),
+		dfa:      min,
+	}, nil
+}
+
+// NewRegularFromRegex compiles a regular expression into a language.
+func NewRegularFromRegex(name, expr string, extraAlphabet ...Letter) (*Regular, error) {
+	dfa, err := automata.CompileRegexDFA(expr, extraAlphabet...)
+	if err != nil {
+		return nil, fmt.Errorf("regular language %q: %w", name, err)
+	}
+	return NewRegular(name, dfa)
+}
+
+// Name implements Language.
+func (r *Regular) Name() string { return r.name }
+
+// Alphabet implements Language.
+func (r *Regular) Alphabet() Alphabet { return r.alphabet }
+
+// DFA exposes the minimized automaton (for the ring recognizer).
+func (r *Regular) DFA() *automata.DFA { return r.dfa }
+
+// Contains implements Language.
+func (r *Regular) Contains(w Word) bool {
+	return r.dfa.Accepts([]rune(w))
+}
+
+// GenerateMember implements Language using a random walk that is steered, in
+// its tail, toward an accepting state via precomputed shortest suffixes.
+func (r *Regular) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	return r.generate(n, rng, true)
+}
+
+// GenerateNonMember implements Language symmetrically.
+func (r *Regular) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	return r.generate(n, rng, false)
+}
+
+func (r *Regular) generate(n int, rng *rand.Rand, member bool) (Word, bool) {
+	target := r.dfa
+	if !member {
+		target = automata.Complement(r.dfa)
+	}
+	// can[j][q] reports whether an accepting state is reachable from q in
+	// exactly j steps. Computing the whole table once keeps generation
+	// O(n·|Q|·|Σ|) for a length-n word.
+	can := exactReachabilityTable(target, n)
+	if !can[n][target.Start] {
+		return nil, false
+	}
+	word := make(Word, 0, n)
+	state := target.Start
+	for i := 0; i < n; i++ {
+		remaining := n - i - 1
+		// Choose uniformly among letters that still allow reaching acceptance
+		// in exactly the remaining number of steps.
+		var viable []Letter
+		for _, sym := range target.Alphabet {
+			next, _ := target.Step(state, sym)
+			if can[remaining][next] {
+				viable = append(viable, sym)
+			}
+		}
+		if len(viable) == 0 {
+			return nil, false
+		}
+		sym := viable[rng.Intn(len(viable))]
+		word = append(word, sym)
+		state, _ = target.Step(state, sym)
+	}
+	if !target.Accepting[state] {
+		return nil, false
+	}
+	return word, true
+}
+
+// exactReachabilityTable returns can[j][q] = "an accepting state of d is
+// reachable from q in exactly j steps", for j in [0, maxSteps].
+func exactReachabilityTable(d *automata.DFA, maxSteps int) [][]bool {
+	can := make([][]bool, maxSteps+1)
+	can[0] = make([]bool, d.NumStates)
+	for q := 0; q < d.NumStates; q++ {
+		can[0][q] = d.Accepting[automata.State(q)]
+	}
+	for j := 1; j <= maxSteps; j++ {
+		can[j] = make([]bool, d.NumStates)
+		for q := 0; q < d.NumStates; q++ {
+			for _, sym := range d.Alphabet {
+				to, _ := d.Step(automata.State(q), sym)
+				if can[j-1][to] {
+					can[j][q] = true
+					break
+				}
+			}
+		}
+	}
+	return can
+}

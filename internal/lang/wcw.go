@@ -1,0 +1,86 @@
+package lang
+
+import "math/rand"
+
+// WcW is the linear (context-free) language {w c w : w ∈ {a,b}*} from
+// Section 7 note 1 of the paper. Every letter of the first w must be compared
+// with the corresponding letter of the second w, which forces Ω(n²) bits.
+type WcW struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*WcW)(nil)
+
+// NewWcW constructs the language over the alphabet {a, b, c}.
+func NewWcW() *WcW {
+	return &WcW{alphabet: NewAlphabet('a', 'b', 'c')}
+}
+
+// Name implements Language.
+func (l *WcW) Name() string { return "wcw" }
+
+// Alphabet implements Language.
+func (l *WcW) Alphabet() Alphabet { return l.alphabet }
+
+// Contains implements Language: the word must have the form w c w with
+// w ∈ {a,b}* (so exactly one 'c', placed dead centre, and matching halves).
+func (l *WcW) Contains(word Word) bool {
+	n := len(word)
+	if n%2 == 0 {
+		return false
+	}
+	mid := n / 2
+	if word[mid] != 'c' {
+		return false
+	}
+	for i := 0; i < mid; i++ {
+		if word[i] == 'c' || word[mid+1+i] == 'c' {
+			return false
+		}
+		if word[i] != word[mid+1+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateMember implements Language. Members exist for every odd n.
+func (l *WcW) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	if n%2 == 0 || n < 1 {
+		return nil, false
+	}
+	half := n / 2
+	w := make(Word, 0, n)
+	letters := []Letter{'a', 'b'}
+	for i := 0; i < half; i++ {
+		w = append(w, letters[rng.Intn(2)])
+	}
+	w = append(w, 'c')
+	w = append(w, w[:half]...)
+	return w, true
+}
+
+// GenerateNonMember implements Language. For n >= 1 non-members always exist;
+// the generator prefers near-misses (one mismatched position) because those
+// are the hardest inputs for a recognizer.
+func (l *WcW) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	if n%2 == 0 || n == 1 {
+		// Structurally impossible to be a member; any word over {a,b} works,
+		// except the single-letter word "c" which is w c w with w = ε.
+		w := RandomWord(NewAlphabet('a', 'b'), n, rng)
+		return w, true
+	}
+	member, _ := l.GenerateMember(n, rng)
+	half := n / 2
+	// Flip one letter in the second half (not the centre 'c').
+	pos := half + 1 + rng.Intn(half)
+	if member[pos] == 'a' {
+		member[pos] = 'b'
+	} else {
+		member[pos] = 'a'
+	}
+	return member, true
+}

@@ -1,0 +1,108 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Letter is a single input symbol held by one ring processor.
+type Letter = rune
+
+// Word is the pattern on the ring: the concatenation of the processors'
+// letters starting at the leader.
+type Word []Letter
+
+// WordFromString converts a Go string to a Word, one rune per letter.
+func WordFromString(s string) Word {
+	return Word([]rune(s))
+}
+
+// String renders the word as a Go string.
+func (w Word) String() string {
+	return string([]rune(w))
+}
+
+// Len returns the number of letters, i.e. the ring size n.
+func (w Word) Len() int {
+	return len(w)
+}
+
+// Equal reports whether two words are identical.
+func (w Word) Equal(other Word) bool {
+	if len(w) != len(other) {
+		return false
+	}
+	for i := range w {
+		if w[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the word.
+func (w Word) Clone() Word {
+	out := make(Word, len(w))
+	copy(out, w)
+	return out
+}
+
+// Alphabet is a finite, ordered set of letters.
+type Alphabet []Letter
+
+// NewAlphabet builds a canonical (sorted, deduplicated) alphabet.
+func NewAlphabet(letters ...Letter) Alphabet {
+	seen := make(map[Letter]bool, len(letters))
+	out := make(Alphabet, 0, len(letters))
+	for _, l := range letters {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether the alphabet includes the letter.
+func (a Alphabet) Contains(l Letter) bool {
+	for _, x := range a {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Index returns the position of the letter in the alphabet, or -1.
+func (a Alphabet) Index(l Letter) int {
+	for i, x := range a {
+		if x == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// Size returns the number of letters in the alphabet.
+func (a Alphabet) Size() int {
+	return len(a)
+}
+
+// Runes returns the alphabet as a rune slice (copy), for interoperation with
+// the automata package.
+func (a Alphabet) Runes() []rune {
+	out := make([]rune, len(a))
+	copy(out, a)
+	return out
+}
+
+// ValidWord checks that every letter of the word belongs to the alphabet.
+func (a Alphabet) ValidWord(w Word) error {
+	for i, l := range w {
+		if !a.Contains(l) {
+			return fmt.Errorf("lang: letter %q at position %d not in alphabet %q", l, i, string(a))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ringlang/internal/bits"
+)
+
+// ConcurrentEngine runs one goroutine per processor, connected by unbounded
+// FIFO links (one pump goroutine per directed link). It realizes the paper's
+// asynchronous model: messages experience arbitrary finite delays, and the
+// execution observed is whatever serialization the scheduler produces.
+//
+// The engine detects termination in three ways: the leader decides, the
+// system quiesces (no message in flight and none being processed), or the
+// message budget is exceeded.
+type ConcurrentEngine struct{}
+
+var _ Engine = (*ConcurrentEngine)(nil)
+
+// NewConcurrentEngine returns a goroutine-per-processor engine.
+func NewConcurrentEngine() *ConcurrentEngine {
+	return &ConcurrentEngine{}
+}
+
+// Name implements Engine.
+func (e *ConcurrentEngine) Name() string { return "concurrent" }
+
+// concDelivery is one in-flight message of the concurrent engine.
+type concDelivery struct {
+	from    Direction
+	payload bits.String
+}
+
+// concState is the shared mutable state of one concurrent run.
+type concState struct {
+	cfg   Config
+	n     int
+	stats *Stats
+	trace Trace
+	seq   int
+
+	mu      sync.Mutex
+	verdict Verdict
+
+	outstanding atomic.Int64
+	delivered   atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	runErr   error
+}
+
+// finish records the terminal error (possibly nil) exactly once and releases
+// every goroutine.
+func (st *concState) finish(err error) {
+	st.stopOnce.Do(func() {
+		st.runErr = err
+		close(st.stop)
+	})
+}
+
+// record accounts a send under the state lock.
+func (st *concState) record(fromProc, toProc int, dir Direction, payload bits.String) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stats.record(fromProc, toProc, payload)
+	if st.cfg.RecordTrace {
+		st.trace = append(st.trace, Event{Seq: st.seq, Kind: EventSend, Processor: fromProc, Dir: dir, Payload: payload})
+		st.seq++
+	}
+}
+
+// recordEvent appends a non-send trace event under the state lock.
+func (st *concState) recordEvent(ev Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cfg.RecordTrace {
+		ev.Seq = st.seq
+		st.trace = append(st.trace, ev)
+		st.seq++
+	}
+}
+
+// decide implements the leader's Accept/Reject under the state lock.
+func (st *concState) decide(proc int, v Verdict) error {
+	st.mu.Lock()
+	if st.verdict != VerdictNone {
+		st.mu.Unlock()
+		return ErrAlreadyDecided
+	}
+	st.verdict = v
+	if st.cfg.RecordTrace {
+		st.trace = append(st.trace, Event{Seq: st.seq, Kind: EventVerdict, Processor: proc, Verdict: v})
+		st.seq++
+	}
+	st.mu.Unlock()
+	st.finish(nil)
+	return nil
+}
+
+// currentVerdict reads the verdict under the lock.
+func (st *concState) currentVerdict() Verdict {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.verdict
+}
+
+// Run implements Engine.
+func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
+	cfg, err := cfg.normalize(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	st := &concState{
+		cfg:   cfg,
+		n:     n,
+		stats: newStats(n),
+		stop:  make(chan struct{}),
+	}
+
+	// Per-processor inboxes and per-directed-link pumps providing unbounded
+	// FIFO buffering so no send can ever deadlock the system.
+	inboxes := make([]chan concDelivery, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan concDelivery)
+	}
+	type linkKey struct {
+		from int
+		dir  Direction
+	}
+	linkIn := make(map[linkKey]chan concDelivery, 2*n)
+	var wg sync.WaitGroup
+	startPump := func(src chan concDelivery, dst chan concDelivery) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var queue []concDelivery
+			for {
+				var out chan concDelivery
+				var head concDelivery
+				if len(queue) > 0 {
+					out = dst
+					head = queue[0]
+				}
+				select {
+				case <-st.stop:
+					return
+				case d := <-src:
+					queue = append(queue, d)
+				case out <- head:
+					queue = queue[1:]
+				}
+			}
+		}()
+	}
+	directions := []Direction{Forward}
+	if cfg.Mode == Bidirectional {
+		directions = []Direction{Forward, Backward}
+	}
+	for i := 0; i < n; i++ {
+		for _, dir := range directions {
+			src := make(chan concDelivery)
+			linkIn[linkKey{from: i, dir: dir}] = src
+			startPump(src, inboxes[neighbour(i, dir, n)])
+		}
+	}
+
+	// dispatch validates, accounts and enqueues the sends of processor i. It
+	// returns false if the run is stopping.
+	dispatch := func(fromProc int, sends []Send) error {
+		for _, s := range sends {
+			if err := validateSend(cfg, s); err != nil {
+				return fmt.Errorf("processor %d: %w", fromProc, err)
+			}
+			to := neighbour(fromProc, s.Dir, n)
+			st.record(fromProc, to, s.Dir, s.Payload)
+			st.outstanding.Add(1)
+			select {
+			case <-st.stop:
+				return nil
+			case linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrivalDirection(s.Dir), payload: s.Payload}:
+			}
+		}
+		return nil
+	}
+
+	contexts := make([]*Context, n)
+	for i := range contexts {
+		idx := i
+		contexts[i] = &Context{
+			isLeader: idx == LeaderIndex,
+			decide:   func(v Verdict) error { return st.decide(idx, v) },
+		}
+	}
+
+	// Start phase (serialized; a legal asynchronous prefix). Pumps are already
+	// running, so initial sends are buffered without blocking. The extra
+	// "start token" on the outstanding counter prevents a processor from
+	// declaring quiescence while later initiators are still being started.
+	st.outstanding.Add(1)
+	for i := 0; i < n && st.currentVerdict() == VerdictNone; i++ {
+		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
+			continue
+		}
+		st.recordEvent(Event{Kind: EventStart, Processor: i})
+		sends, err := nodes[i].Start(contexts[i])
+		if err != nil {
+			st.finish(fmt.Errorf("ring: start of processor %d: %w", i, err))
+			break
+		}
+		if err := dispatch(i, sends); err != nil {
+			st.finish(err)
+			break
+		}
+	}
+
+	// Processor goroutines.
+	for i := 0; i < n; i++ {
+		idx := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-st.stop:
+					return
+				case d := <-inboxes[idx]:
+					if st.delivered.Add(1) > int64(cfg.MaxMessages) {
+						st.finish(fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, cfg.MaxMessages))
+						return
+					}
+					st.recordEvent(Event{Kind: EventReceive, Processor: idx, Dir: d.from, Payload: d.payload})
+					sends, err := nodes[idx].Receive(contexts[idx], d.from, d.payload)
+					if err != nil {
+						st.finish(fmt.Errorf("ring: receive at processor %d: %w", idx, err))
+						return
+					}
+					if st.currentVerdict() == VerdictNone {
+						if err := dispatch(idx, sends); err != nil {
+							st.finish(err)
+							return
+						}
+					}
+					if st.outstanding.Add(-1) == 0 {
+						// Quiescent: nothing in flight and (by the accounting
+						// order: sends are counted before this decrement) no
+						// processor holds undispatched work.
+						st.finish(nil)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Release the start token; if the start phase produced no messages at all
+	// (or every one of them has already been fully processed) the system is
+	// quiescent.
+	if st.outstanding.Add(-1) == 0 {
+		st.finish(nil)
+	}
+
+	<-st.stop
+	wg.Wait()
+
+	if st.runErr != nil {
+		return nil, st.runErr
+	}
+	verdict := st.currentVerdict()
+	if cfg.RequireVerdict && verdict == VerdictNone {
+		return nil, ErrNoVerdict
+	}
+	return &Result{Verdict: verdict, Stats: st.stats, Trace: st.trace}, nil
+}

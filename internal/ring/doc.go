@@ -1,0 +1,21 @@
+// Package ring implements the distributed ring-with-a-leader model of
+// Mansour & Zaks: n processors arranged in a ring, processor 1 being the
+// leader, communicating only over the ring edges with message-driven
+// algorithms. The package is input-agnostic — algorithms construct their own
+// per-processor Node values (closing over whatever input each processor
+// holds) and hand them to an Engine.
+//
+// Two engines implement the same semantics:
+//
+//   - Sequential: a deterministic event-driven simulator delivering messages
+//     in FIFO order. For unidirectional algorithms this reproduces exactly
+//     the unique execution the paper describes (a round-robin sequence of
+//     messages starting at the leader), and it makes bit counts reproducible.
+//   - Concurrent: one goroutine per processor connected by unbounded links,
+//     i.e. a genuinely asynchronous execution. Used to demonstrate that the
+//     algorithms are correct under arbitrary asynchrony and to cross-check
+//     the sequential engine.
+//
+// The engine, not the algorithm, accounts every payload bit sent over every
+// link; Stats is the quantity all the paper's results are about.
+package ring

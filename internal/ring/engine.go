@@ -1,0 +1,50 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine executes an algorithm (a slice of per-processor Nodes, index 0 being
+// the leader) on a ring and returns the verdict plus exact bit accounting.
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Run executes the nodes under the given configuration. nodes[0] is the
+	// leader; nodes[i] is connected forward to nodes[(i+1)%n].
+	Run(cfg Config, nodes []Node) (*Result, error)
+}
+
+// ErrAlreadyDecided is returned if the leader decides twice.
+var ErrAlreadyDecided = errors.New("ring: verdict already decided")
+
+// neighbour returns the processor index reached from `from` by travelling in
+// direction d on a ring of n processors.
+func neighbour(from int, d Direction, n int) int {
+	if d == Forward {
+		return (from + 1) % n
+	}
+	return (from - 1 + n) % n
+}
+
+// arrivalDirection is the direction the receiver perceives a message sent in
+// direction d: a Forward-travelling message arrives from the receiver's
+// Backward side, and vice versa.
+func arrivalDirection(d Direction) Direction {
+	return d.Opposite()
+}
+
+// validateSend checks a send against the topology mode.
+func validateSend(cfg Config, s Send) error {
+	switch s.Dir {
+	case Forward:
+		return nil
+	case Backward:
+		if cfg.Mode == Unidirectional {
+			return ErrBackwardInUnidirectional
+		}
+		return nil
+	default:
+		return fmt.Errorf("ring: invalid send direction %d", s.Dir)
+	}
+}

@@ -1,0 +1,104 @@
+package ring
+
+import "ringlang/internal/bits"
+
+// Direction identifies the two ring directions from a processor's point of
+// view. In the paper's unidirectional model processor p_i sends to p_{i+1};
+// we call that Forward.
+type Direction int
+
+const (
+	// Forward is the direction of increasing processor index (p_i → p_{i+1},
+	// with p_n → p_1). Unidirectional algorithms may only send Forward.
+	Forward Direction = iota + 1
+	// Backward is the direction of decreasing processor index (p_i → p_{i-1},
+	// with p_1 → p_n). Only valid in bidirectional mode.
+	Backward
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	default:
+		return "unknown"
+	}
+}
+
+// Opposite returns the other direction.
+func (d Direction) Opposite() Direction {
+	if d == Forward {
+		return Backward
+	}
+	return Forward
+}
+
+// Send is an instruction returned by a Node: transmit the payload to the
+// neighbour in the given direction.
+type Send struct {
+	Dir     Direction
+	Payload bits.String
+}
+
+// SendForward is shorthand for a forward send.
+func SendForward(payload bits.String) Send {
+	return Send{Dir: Forward, Payload: payload}
+}
+
+// SendBackward is shorthand for a backward send.
+func SendBackward(payload bits.String) Send {
+	return Send{Dir: Backward, Payload: payload}
+}
+
+// Verdict is the leader's decision about the pattern on the ring.
+type Verdict int
+
+const (
+	// VerdictNone means the algorithm has not (yet) decided. Algorithms that
+	// compute something other than language membership (e.g. leader election)
+	// finish with VerdictNone.
+	VerdictNone Verdict = iota
+	// VerdictAccept means the leader accepted the pattern.
+	VerdictAccept
+	// VerdictReject means the leader rejected the pattern.
+	VerdictReject
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "accept"
+	case VerdictReject:
+		return "reject"
+	case VerdictNone:
+		return "none"
+	default:
+		return "invalid"
+	}
+}
+
+// Mode selects the communication topology.
+type Mode int
+
+const (
+	// Unidirectional: messages travel only Forward around the ring.
+	Unidirectional Mode = iota + 1
+	// Bidirectional: messages may travel in both directions.
+	Bidirectional
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Unidirectional:
+		return "unidirectional"
+	case Bidirectional:
+		return "bidirectional"
+	default:
+		return "unknown"
+	}
+}

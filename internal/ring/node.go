@@ -1,0 +1,69 @@
+package ring
+
+import (
+	"errors"
+
+	"ringlang/internal/bits"
+)
+
+// Node is the algorithm logic running at a single processor. The engine
+// constructs one Node per processor (via whatever factory the algorithm
+// provides) and drives it purely through Start and Receive. A Node must not
+// communicate with other Nodes except by returning Sends.
+type Node interface {
+	// Start is called once, before any message delivery, on every initiator
+	// processor (by default only the leader). It returns the initial
+	// messages to transmit.
+	Start(ctx *Context) ([]Send, error)
+	// Receive is called for every message delivered to the processor. The
+	// `from` argument names the neighbour the message arrived from, seen from
+	// this processor: a message travelling Forward around the ring (p_i to
+	// p_{i+1}) is delivered with from == Backward, because it came from the
+	// receiver's backward neighbour. Receive returns any messages to transmit
+	// in response.
+	Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error)
+}
+
+// Context is the engine-provided handle a Node uses to report decisions.
+// It is scoped to a single processor.
+type Context struct {
+	isLeader bool
+	decide   func(Verdict) error
+}
+
+// ErrNotLeader is returned when a non-leader processor attempts to decide.
+var ErrNotLeader = errors.New("ring: only the leader may accept or reject")
+
+// IsLeader reports whether this processor is the leader. The paper's model
+// gives the leader (and only the leader) a distinguished role; all other
+// processors run identical code.
+func (c *Context) IsLeader() bool {
+	return c.isLeader
+}
+
+// Accept records the leader's accepting decision and terminates the
+// execution. Calling it from a non-leader is an error.
+func (c *Context) Accept() error {
+	if !c.isLeader {
+		return ErrNotLeader
+	}
+	return c.decide(VerdictAccept)
+}
+
+// Reject records the leader's rejecting decision and terminates the
+// execution. Calling it from a non-leader is an error.
+func (c *Context) Reject() error {
+	if !c.isLeader {
+		return ErrNotLeader
+	}
+	return c.decide(VerdictReject)
+}
+
+// Decide records an explicit verdict value (used by simulation wrappers that
+// replay another algorithm's decision).
+func (c *Context) Decide(v Verdict) error {
+	if !c.isLeader {
+		return ErrNotLeader
+	}
+	return c.decide(v)
+}

@@ -1,0 +1,141 @@
+package ring
+
+import "ringlang/internal/bits"
+
+// LinkStats accumulates traffic over one directed link of the ring.
+type LinkStats struct {
+	// From and To are processor indices; the link carries messages From → To.
+	From int
+	To   int
+	// Messages is the number of messages sent over the link.
+	Messages int
+	// Bits is the total payload length sent over the link.
+	Bits int
+}
+
+// Stats is the bit/message accounting of one execution. It is computed by
+// the engine; algorithms never report their own costs.
+type Stats struct {
+	// Processors is the ring size n.
+	Processors int
+	// Messages is the total number of messages delivered.
+	Messages int
+	// Bits is the total number of payload bits transmitted — the quantity
+	// BIT_A(n) of the paper.
+	Bits int
+	// MaxMessageBits is the largest single message payload.
+	MaxMessageBits int
+	// PerLink holds one entry per directed link that carried at least one
+	// message, keyed by (From, To).
+	PerLink map[[2]int]*LinkStats
+}
+
+// newStats allocates a Stats for a ring of n processors.
+func newStats(n int) *Stats {
+	return &Stats{Processors: n, PerLink: make(map[[2]int]*LinkStats)}
+}
+
+// record accounts one message sent from processor `from` to processor `to`.
+func (s *Stats) record(from, to int, payload bits.String) {
+	n := payload.Len()
+	s.Messages++
+	s.Bits += n
+	if n > s.MaxMessageBits {
+		s.MaxMessageBits = n
+	}
+	key := [2]int{from, to}
+	ls := s.PerLink[key]
+	if ls == nil {
+		ls = &LinkStats{From: from, To: to}
+		s.PerLink[key] = ls
+	}
+	ls.Messages++
+	ls.Bits += n
+}
+
+// BitsPerProcessor returns Bits / n, the per-processor average used when
+// checking linear (O(n)) scaling.
+func (s *Stats) BitsPerProcessor() float64 {
+	if s.Processors == 0 {
+		return 0
+	}
+	return float64(s.Bits) / float64(s.Processors)
+}
+
+// MinLinkBits returns the smallest bit count over all links that carried
+// traffic, and the link itself; this is the quantity the Theorem 5
+// transformation cuts the ring at. The boolean is false if no link carried
+// any message.
+func (s *Stats) MinLinkBits() (LinkStats, bool) {
+	var best *LinkStats
+	for _, ls := range s.PerLink {
+		if best == nil || ls.Bits < best.Bits {
+			best = ls
+		}
+	}
+	if best == nil {
+		return LinkStats{}, false
+	}
+	return *best, true
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EventStart marks a processor's Start invocation.
+	EventStart EventKind = iota + 1
+	// EventSend marks a message leaving a processor.
+	EventSend
+	// EventReceive marks a message delivered to a processor.
+	EventReceive
+	// EventVerdict marks the leader's decision.
+	EventVerdict
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventSend:
+		return "send"
+	case EventReceive:
+		return "receive"
+	case EventVerdict:
+		return "verdict"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a single entry of an execution trace. Seq is a global sequence
+// number establishing the total order of the recorded execution (for the
+// concurrent engine this is the observation order at the engine, which is a
+// legal serialization).
+type Event struct {
+	Seq       int
+	Kind      EventKind
+	Processor int
+	// Dir is the direction of the send/receive relative to the processor
+	// (meaningless for start/verdict events).
+	Dir Direction
+	// Payload is the message content for send/receive events.
+	Payload bits.String
+	// Verdict is set for EventVerdict events.
+	Verdict Verdict
+}
+
+// Trace is the ordered list of recorded events.
+type Trace []Event
+
+// Result is what an engine returns for one execution.
+type Result struct {
+	// Verdict is the leader's decision, or VerdictNone for algorithms that
+	// terminate by quiescence.
+	Verdict Verdict
+	// Stats is the exact bit/message accounting of the execution.
+	Stats *Stats
+	// Trace is the recorded event sequence (nil unless Config.RecordTrace).
+	Trace Trace
+}

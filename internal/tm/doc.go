@@ -1,0 +1,10 @@
+// Package tm implements a one-tape Turing machine simulator and the
+// transformation discussed in Section 8 of the paper: a TM with time
+// complexity t(n) can be turned into a ring algorithm whose bit complexity is
+// at most t(n)·⌈log |Q|⌉ — each processor holds one tape cell, and the TM
+// head travels around the ring as a message carrying only the machine state.
+//
+// The ring's circular tape is delimited by a single boundary cell '#' that
+// the leader simulates in addition to its own input cell, which turns the
+// ring into the linear tape  # σ₁ σ₂ … σ_n  the example machines expect.
+package tm

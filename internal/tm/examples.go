@@ -1,0 +1,108 @@
+package tm
+
+// Example machines used by the Section 8 transformation experiments. Both
+// work on the circular tape  # input  produced by Machine.Run and by the ring
+// transformation, treating the single '#' cell as both the left and the right
+// delimiter of the input.
+
+// States of the 0ᵏ1ᵏ machine.
+const (
+	zoFind State = iota // q0: find the leftmost unmarked 0
+	zoSeek              // q1: scan right for a matching 1
+	zoBack              // q2: scan left back to the last X
+	zoTail              // q3: verify only Ys remain
+	zoAccept
+	zoReject
+	zoNumStates
+)
+
+// NewZeroesOnesMachine returns a one-tape TM recognizing {0ᵏ1ᵏ : k ≥ 0} in
+// Θ(n²) steps by the classic crossing-off procedure (0 → X, 1 → Y).
+func NewZeroesOnesMachine() *Machine {
+	b := newRuleBuilder()
+	// q0: find the leftmost unmarked 0.
+	b.add(zoFind, '0', zoSeek, 'X', MoveRight)
+	b.add(zoFind, 'Y', zoTail, 'Y', MoveRight)
+	b.add(zoFind, '1', zoReject, '1', MoveStay)
+	b.add(zoFind, Boundary, zoAccept, Boundary, MoveStay)
+	// q1: scan right for the first 1.
+	b.add(zoSeek, '0', zoSeek, '0', MoveRight)
+	b.add(zoSeek, 'Y', zoSeek, 'Y', MoveRight)
+	b.add(zoSeek, '1', zoBack, 'Y', MoveLeft)
+	b.add(zoSeek, Boundary, zoReject, Boundary, MoveStay)
+	// q2: scan left back to the X.
+	b.add(zoBack, '0', zoBack, '0', MoveLeft)
+	b.add(zoBack, 'Y', zoBack, 'Y', MoveLeft)
+	b.add(zoBack, 'X', zoFind, 'X', MoveRight)
+	// q3: only Ys may remain before the boundary.
+	b.add(zoTail, 'Y', zoTail, 'Y', MoveRight)
+	b.add(zoTail, '1', zoReject, '1', MoveStay)
+	b.add(zoTail, '0', zoReject, '0', MoveStay)
+	b.add(zoTail, Boundary, zoAccept, Boundary, MoveStay)
+
+	return &Machine{
+		Name:          "zeroes-ones",
+		NumStates:     int(zoNumStates),
+		Start:         zoFind,
+		Accept:        zoAccept,
+		Reject:        zoReject,
+		InputAlphabet: []rune{'0', '1'},
+		TapeAlphabet:  []rune{'0', '1', 'X', 'Y', Boundary},
+		Rules:         b.rules,
+	}
+}
+
+// States of the palindrome machine.
+const (
+	palRead   State = iota // q0: read and erase the leftmost symbol
+	palSeekA               // scan right after reading an 'a'
+	palCmpA                // compare the rightmost symbol with 'a'
+	palSeekB               // scan right after reading a 'b'
+	palCmpB                // compare the rightmost symbol with 'b'
+	palReturn              // scan left back to the start of the remainder
+	palAccept
+	palReject
+	palNumStates
+)
+
+// NewPalindromeMachine returns a one-tape TM recognizing palindromes over
+// {a,b} in Θ(n²) steps by repeatedly comparing and erasing the two ends.
+func NewPalindromeMachine() *Machine {
+	b := newRuleBuilder()
+	// q0: read and erase the leftmost remaining symbol.
+	b.add(palRead, 'a', palSeekA, '_', MoveRight)
+	b.add(palRead, 'b', palSeekB, '_', MoveRight)
+	b.add(palRead, '_', palAccept, '_', MoveStay)
+	b.add(palRead, Boundary, palAccept, Boundary, MoveStay)
+	// Scan right to the end of the remainder.
+	for _, sym := range []rune{'a', 'b'} {
+		b.add(palSeekA, sym, palSeekA, sym, MoveRight)
+		b.add(palSeekB, sym, palSeekB, sym, MoveRight)
+	}
+	b.add(palSeekA, '_', palCmpA, '_', MoveLeft)
+	b.add(palSeekA, Boundary, palCmpA, Boundary, MoveLeft)
+	b.add(palSeekB, '_', palCmpB, '_', MoveLeft)
+	b.add(palSeekB, Boundary, palCmpB, Boundary, MoveLeft)
+	// Compare the rightmost remaining symbol.
+	b.add(palCmpA, 'a', palReturn, '_', MoveLeft)
+	b.add(palCmpA, 'b', palReject, 'b', MoveStay)
+	b.add(palCmpA, '_', palAccept, '_', MoveStay)
+	b.add(palCmpB, 'b', palReturn, '_', MoveLeft)
+	b.add(palCmpB, 'a', palReject, 'a', MoveStay)
+	b.add(palCmpB, '_', palAccept, '_', MoveStay)
+	// Return to the left end of the remainder.
+	b.add(palReturn, 'a', palReturn, 'a', MoveLeft)
+	b.add(palReturn, 'b', palReturn, 'b', MoveLeft)
+	b.add(palReturn, '_', palRead, '_', MoveRight)
+
+	return &Machine{
+		Name:          "palindrome",
+		NumStates:     int(palNumStates),
+		Start:         palRead,
+		Accept:        palAccept,
+		Reject:        palReject,
+		InputAlphabet: []rune{'a', 'b'},
+		TapeAlphabet:  []rune{'a', 'b', '_', Boundary},
+		Rules:         b.rules,
+	}
+}

@@ -1,0 +1,179 @@
+package tm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Move is the head movement of a transition.
+type Move int
+
+const (
+	// MoveLeft moves the head one cell to the left.
+	MoveLeft Move = iota + 1
+	// MoveRight moves the head one cell to the right.
+	MoveRight
+	// MoveStay keeps the head where it is.
+	MoveStay
+)
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	switch m {
+	case MoveLeft:
+		return "L"
+	case MoveRight:
+		return "R"
+	case MoveStay:
+		return "S"
+	default:
+		return "?"
+	}
+}
+
+// State identifies a TM state.
+type State int
+
+// Boundary is the tape symbol delimiting the input on the circular ring tape.
+const Boundary rune = '#'
+
+// Rule is the right-hand side of one transition.
+type Rule struct {
+	Next  State
+	Write rune
+	Move  Move
+}
+
+// RuleKey is a (state, symbol) pair.
+type RuleKey struct {
+	State  State
+	Symbol rune
+}
+
+// Machine is a deterministic one-tape Turing machine. States are numbered
+// 0..NumStates-1; Accept and Reject are halting states with no outgoing
+// transitions.
+type Machine struct {
+	Name      string
+	NumStates int
+	Start     State
+	Accept    State
+	Reject    State
+	// InputAlphabet lists the symbols that may appear in inputs.
+	InputAlphabet []rune
+	// TapeAlphabet lists every symbol that may appear on the tape (a
+	// superset of InputAlphabet plus Boundary and any working symbols).
+	TapeAlphabet []rune
+	// Rules is the transition function.
+	Rules map[RuleKey]Rule
+}
+
+// Errors returned by the simulator.
+var (
+	ErrInvalidMachine = errors.New("tm: invalid machine")
+	ErrStepLimit      = errors.New("tm: step limit exceeded")
+	ErrMissingRule    = errors.New("tm: missing transition")
+)
+
+// Validate performs structural checks on the machine.
+func (m *Machine) Validate() error {
+	if m.NumStates <= 0 {
+		return fmt.Errorf("%w: no states", ErrInvalidMachine)
+	}
+	inRange := func(s State) bool { return s >= 0 && int(s) < m.NumStates }
+	if !inRange(m.Start) || !inRange(m.Accept) || !inRange(m.Reject) {
+		return fmt.Errorf("%w: start/accept/reject out of range", ErrInvalidMachine)
+	}
+	if m.Accept == m.Reject {
+		return fmt.Errorf("%w: accept and reject must differ", ErrInvalidMachine)
+	}
+	tape := make(map[rune]bool, len(m.TapeAlphabet))
+	for _, s := range m.TapeAlphabet {
+		tape[s] = true
+	}
+	if !tape[Boundary] {
+		return fmt.Errorf("%w: tape alphabet must include the boundary symbol", ErrInvalidMachine)
+	}
+	for _, s := range m.InputAlphabet {
+		if !tape[s] {
+			return fmt.Errorf("%w: input symbol %q missing from tape alphabet", ErrInvalidMachine, s)
+		}
+	}
+	for key, rule := range m.Rules {
+		if !inRange(key.State) || !inRange(rule.Next) {
+			return fmt.Errorf("%w: rule %v references an invalid state", ErrInvalidMachine, key)
+		}
+		if key.State == m.Accept || key.State == m.Reject {
+			return fmt.Errorf("%w: halting state %d has outgoing rules", ErrInvalidMachine, key.State)
+		}
+		if !tape[key.Symbol] || !tape[rule.Write] {
+			return fmt.Errorf("%w: rule %v uses a symbol outside the tape alphabet", ErrInvalidMachine, key)
+		}
+		if rule.Move != MoveLeft && rule.Move != MoveRight && rule.Move != MoveStay {
+			return fmt.Errorf("%w: rule %v has an invalid move", ErrInvalidMachine, key)
+		}
+	}
+	return nil
+}
+
+// RunResult is the outcome of a direct simulation.
+type RunResult struct {
+	Accepted bool
+	Steps    int
+}
+
+// Run simulates the machine on a circular tape containing a single Boundary
+// cell followed by the input, with the head starting on the first input cell
+// (or on the boundary for empty input). maxSteps bounds the simulation.
+func (m *Machine) Run(input []rune, maxSteps int) (RunResult, error) {
+	if err := m.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	tape := make([]rune, 0, len(input)+1)
+	tape = append(tape, Boundary)
+	tape = append(tape, input...)
+	size := len(tape)
+	head := 1 % size
+	state := m.Start
+	for steps := 0; steps < maxSteps; steps++ {
+		if state == m.Accept {
+			return RunResult{Accepted: true, Steps: steps}, nil
+		}
+		if state == m.Reject {
+			return RunResult{Accepted: false, Steps: steps}, nil
+		}
+		rule, ok := m.Rules[RuleKey{State: state, Symbol: tape[head]}]
+		if !ok {
+			return RunResult{}, fmt.Errorf("%w: state %d symbol %q", ErrMissingRule, state, tape[head])
+		}
+		tape[head] = rule.Write
+		state = rule.Next
+		switch rule.Move {
+		case MoveLeft:
+			head = (head - 1 + size) % size
+		case MoveRight:
+			head = (head + 1) % size
+		}
+	}
+	if state == m.Accept {
+		return RunResult{Accepted: true, Steps: maxSteps}, nil
+	}
+	if state == m.Reject {
+		return RunResult{Accepted: false, Steps: maxSteps}, nil
+	}
+	return RunResult{}, fmt.Errorf("%w: %d steps", ErrStepLimit, maxSteps)
+}
+
+// ruleBuilder keeps the example-machine definitions readable.
+type ruleBuilder struct {
+	rules map[RuleKey]Rule
+}
+
+func newRuleBuilder() *ruleBuilder {
+	return &ruleBuilder{rules: make(map[RuleKey]Rule)}
+}
+
+func (b *ruleBuilder) add(state State, symbol rune, next State, write rune, move Move) *ruleBuilder {
+	b.rules[RuleKey{State: state, Symbol: symbol}] = Rule{Next: next, Write: write, Move: move}
+	return b
+}

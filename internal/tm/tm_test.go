@@ -1,0 +1,255 @@
+package tm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+const testStepLimit = 1 << 20
+
+func TestZeroesOnesMachineDirect(t *testing.T) {
+	m := NewZeroesOnesMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := map[string]bool{
+		"":           true,
+		"01":         true,
+		"0011":       true,
+		"000111":     true,
+		"0":          false,
+		"1":          false,
+		"10":         false,
+		"001":        false,
+		"011":        false,
+		"0101":       false,
+		"00011":      false,
+		"000011111":  false,
+		"0000011111": true,
+	}
+	for input, want := range cases {
+		res, err := m.Run([]rune(input), testStepLimit)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", input, err)
+		}
+		if res.Accepted != want {
+			t.Errorf("zeroes-ones(%q) = %v, want %v", input, res.Accepted, want)
+		}
+	}
+}
+
+func TestPalindromeMachineDirect(t *testing.T) {
+	m := NewPalindromeMachine()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := map[string]bool{
+		"":        true,
+		"a":       true,
+		"b":       true,
+		"aa":      true,
+		"ab":      false,
+		"aba":     true,
+		"abb":     false,
+		"abba":    true,
+		"abab":    false,
+		"aabbaa":  true,
+		"aabbab":  false,
+		"abaaba":  true,
+		"bababab": true,
+	}
+	for input, want := range cases {
+		res, err := m.Run([]rune(input), testStepLimit)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", input, err)
+		}
+		if res.Accepted != want {
+			t.Errorf("palindrome(%q) = %v, want %v", input, res.Accepted, want)
+		}
+	}
+}
+
+func TestMachineQuadraticSteps(t *testing.T) {
+	m := NewZeroesOnesMachine()
+	l := lang.NewAnBn()
+	rng := rand.New(rand.NewSource(1))
+	small, _ := l.GenerateMember(40, rng)
+	big, _ := l.GenerateMember(160, rng)
+	rs, err := m.Run([]rune(string(small)), testStepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := m.Run([]rune(string(big)), testStepLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rb.Steps) / float64(rs.Steps)
+	if ratio < 10 || ratio > 22 {
+		t.Errorf("step ratio for 4x input = %.1f, expected ≈16 (quadratic machine)", ratio)
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	m := NewZeroesOnesMachine()
+	m.Accept = m.Reject
+	if err := m.Validate(); err == nil {
+		t.Error("expected error when accept == reject")
+	}
+	m = NewZeroesOnesMachine()
+	m.TapeAlphabet = []rune{'0', '1', 'X', 'Y'} // boundary missing
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for missing boundary symbol")
+	}
+	m = NewZeroesOnesMachine()
+	m.Rules[RuleKey{State: m.Accept, Symbol: '0'}] = Rule{Next: m.Accept, Write: '0', Move: MoveStay}
+	if err := m.Validate(); err == nil {
+		t.Error("expected error for rules out of a halting state")
+	}
+}
+
+func TestMachineMissingRuleAndStepLimit(t *testing.T) {
+	m := NewZeroesOnesMachine()
+	delete(m.Rules, RuleKey{State: zoSeek, Symbol: '1'})
+	if _, err := m.Run([]rune("01"), testStepLimit); !errors.Is(err, ErrMissingRule) {
+		t.Errorf("err = %v, want ErrMissingRule", err)
+	}
+	m2 := NewZeroesOnesMachine()
+	if _, err := m2.Run([]rune("000111"), 3); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func newRingRecognizers(t *testing.T) (*RingRecognizer, *RingRecognizer) {
+	t.Helper()
+	zo, err := NewRingRecognizer(NewZeroesOnesMachine(), lang.NewAnBn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pal, err := NewRingRecognizer(NewPalindromeMachine(), lang.NewPalindrome())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return zo, pal
+}
+
+func TestRingRecognizerMatchesLanguage(t *testing.T) {
+	zo, pal := newRingRecognizers(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, rec := range []*RingRecognizer{zo, pal} {
+		for _, n := range []int{1, 2, 3, 4, 8, 16, 31, 40} {
+			if w, ok := rec.Language().GenerateMember(n, rng); ok {
+				if _, err := core.Check(rec, w, core.RunOptions{}); err != nil {
+					t.Errorf("%s: %v", rec.Name(), err)
+				}
+			}
+			if w, ok := rec.Language().GenerateNonMember(n, rng); ok {
+				if _, err := core.Check(rec, w, core.RunOptions{}); err != nil {
+					t.Errorf("%s: %v", rec.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestRingRecognizerMatchesDirectSimulation(t *testing.T) {
+	zo, pal := newRingRecognizers(t)
+	machines := map[*RingRecognizer]*Machine{zo: NewZeroesOnesMachine(), pal: NewPalindromeMachine()}
+	rng := rand.New(rand.NewSource(3))
+	for rec, m := range machines {
+		for trial := 0; trial < 15; trial++ {
+			n := 1 + rng.Intn(24)
+			w := lang.RandomWord(rec.Language().Alphabet(), n, rng)
+			direct, err := m.Run([]rune(string(w)), testStepLimit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(rec, w, core.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ring.VerdictReject
+			if direct.Accepted {
+				want = ring.VerdictAccept
+			}
+			if res.Verdict != want {
+				t.Errorf("%s on %q: ring says %v, direct simulation says %v", rec.Name(), w.String(), res.Verdict, want)
+			}
+		}
+	}
+}
+
+func TestRingRecognizerBitBound(t *testing.T) {
+	// Section 8: BIT ≤ t(n)·⌈log|Q|⌉ (+ the one-bit frame tag per message and
+	// O(n) for the verdict announcement).
+	zo, _ := newRingRecognizers(t)
+	m := NewZeroesOnesMachine()
+	l := lang.NewAnBn()
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 32, 64} {
+		w, _ := l.GenerateMember(n, rng)
+		direct, err := m.Run([]rune(string(w)), testStepLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(zo, w, core.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := direct.Steps*(zo.StateBits()+1) + 2*n
+		if res.Stats.Bits > bound {
+			t.Errorf("n=%d: ring used %d bits, above the t(n)(log|Q|+1)+2n bound %d", n, res.Stats.Bits, bound)
+		}
+	}
+}
+
+func TestNewRingRecognizerValidation(t *testing.T) {
+	if _, err := NewRingRecognizer(NewZeroesOnesMachine(), lang.NewPalindrome()); err == nil {
+		t.Error("expected error for alphabet mismatch")
+	}
+	broken := NewZeroesOnesMachine()
+	broken.Accept = broken.Reject
+	if _, err := NewRingRecognizer(broken, lang.NewAnBn()); err == nil {
+		t.Error("expected error for invalid machine")
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if MoveLeft.String() != "L" || MoveRight.String() != "R" || MoveStay.String() != "S" || Move(9).String() != "?" {
+		t.Error("Move.String misbehaves")
+	}
+}
+
+func TestQuickPalindromeRingAgainstPredicate(t *testing.T) {
+	_, pal := newRingRecognizers(t)
+	f := func(pattern []bool) bool {
+		if len(pattern) == 0 || len(pattern) > 20 {
+			return true
+		}
+		w := make(lang.Word, len(pattern))
+		for i, b := range pattern {
+			if b {
+				w[i] = 'a'
+			} else {
+				w[i] = 'b'
+			}
+		}
+		res, err := core.Run(pal, w, core.RunOptions{})
+		if err != nil {
+			return false
+		}
+		want := ring.VerdictReject
+		if lang.NewPalindrome().Contains(w) {
+			want = ring.VerdictAccept
+		}
+		return res.Verdict == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

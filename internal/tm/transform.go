@@ -1,0 +1,226 @@
+package tm
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// RingRecognizer is the Section 8 transformation: the ring simulates the
+// Turing machine, each processor holding one tape cell. The head is a message
+// carrying only the machine state (⌈log |Q|⌉ bits plus a one-bit frame tag),
+// so the total bit complexity is at most t(n)·(⌈log |Q|⌉ + 1) plus O(n) for
+// carrying the halting verdict back to the leader.
+type RingRecognizer struct {
+	machine   *Machine
+	language  lang.Language
+	stateBits int
+	// maxLocalSteps bounds the work of a single node, protecting the engine
+	// against machines that loop without moving between processors.
+	maxLocalSteps int
+}
+
+var _ core.Recognizer = (*RingRecognizer)(nil)
+
+// DefaultMaxLocalSteps bounds the TM steps a single processor may execute in
+// one run; the example machines use Θ(n²) steps globally, so this is ample.
+const DefaultMaxLocalSteps = 1 << 22
+
+// NewRingRecognizer wraps a machine and the language it decides.
+func NewRingRecognizer(machine *Machine, language lang.Language) (*RingRecognizer, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	inputs := make(map[rune]bool, len(machine.InputAlphabet))
+	for _, s := range machine.InputAlphabet {
+		inputs[s] = true
+	}
+	for _, letter := range language.Alphabet() {
+		if !inputs[letter] {
+			return nil, fmt.Errorf("tm: language letter %q outside the machine's input alphabet", letter)
+		}
+	}
+	return &RingRecognizer{
+		machine:       machine,
+		language:      language,
+		stateBits:     bits.UintWidth(uint64(machine.NumStates - 1)),
+		maxLocalSteps: DefaultMaxLocalSteps,
+	}, nil
+}
+
+// Name implements core.Recognizer.
+func (t *RingRecognizer) Name() string { return "tm-ring(" + t.machine.Name + ")" }
+
+// Language implements core.Recognizer.
+func (t *RingRecognizer) Language() lang.Language { return t.language }
+
+// Mode implements core.Recognizer.
+func (t *RingRecognizer) Mode() ring.Mode { return ring.Bidirectional }
+
+// StateBits returns ⌈log |Q|⌉, the per-head-message payload width (excluding
+// the frame tag).
+func (t *RingRecognizer) StateBits() int { return t.stateBits }
+
+// NewNodes implements core.Recognizer. The leader simulates the boundary cell
+// '#' in addition to its own input cell, so the circular tape reads
+// # σ₁ … σ_n.
+func (t *RingRecognizer) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes := make([]ring.Node, len(word))
+	for i, letter := range word {
+		cells := []rune{letter}
+		if i == ring.LeaderIndex {
+			cells = []rune{Boundary, letter}
+		}
+		nodes[i] = &tmNode{algo: t, cells: cells, leader: i == ring.LeaderIndex}
+	}
+	return nodes, nil
+}
+
+// Message frame tags.
+const (
+	tmTagHead   = false
+	tmTagResult = true
+)
+
+func (t *RingRecognizer) encodeHead(state State) bits.String {
+	var w bits.Writer
+	w.WriteBool(tmTagHead)
+	w.WriteUint(uint64(state), t.stateBits)
+	return w.String()
+}
+
+func encodeResult(accepted bool) bits.String {
+	var w bits.Writer
+	w.WriteBool(tmTagResult)
+	w.WriteBool(accepted)
+	return w.String()
+}
+
+// tmNode simulates the tape cells owned by one processor.
+type tmNode struct {
+	algo   *RingRecognizer
+	cells  []rune
+	leader bool
+	steps  int
+}
+
+// localOutcome is the result of running the head locally until it leaves this
+// node's cells or the machine halts.
+type localOutcome struct {
+	halted   bool
+	accepted bool
+	exitDir  ring.Direction
+	state    State
+}
+
+// runLocal executes transitions while the head remains on this node's cells.
+// cellIdx is the index within n.cells where the head currently is.
+func (n *tmNode) runLocal(state State, cellIdx int) (localOutcome, error) {
+	m := n.algo.machine
+	for {
+		if n.steps >= n.algo.maxLocalSteps {
+			return localOutcome{}, fmt.Errorf("%w at one processor (%d)", ErrStepLimit, n.steps)
+		}
+		if state == m.Accept {
+			return localOutcome{halted: true, accepted: true}, nil
+		}
+		if state == m.Reject {
+			return localOutcome{halted: true, accepted: false}, nil
+		}
+		rule, ok := m.Rules[RuleKey{State: state, Symbol: n.cells[cellIdx]}]
+		if !ok {
+			return localOutcome{}, fmt.Errorf("%w: state %d symbol %q", ErrMissingRule, state, n.cells[cellIdx])
+		}
+		n.steps++
+		n.cells[cellIdx] = rule.Write
+		state = rule.Next
+		switch rule.Move {
+		case MoveStay:
+			// Stay on the same cell and keep going.
+		case MoveRight:
+			if cellIdx+1 < len(n.cells) {
+				cellIdx++
+				continue
+			}
+			return localOutcome{exitDir: ring.Forward, state: state}, nil
+		case MoveLeft:
+			if cellIdx > 0 {
+				cellIdx--
+				continue
+			}
+			return localOutcome{exitDir: ring.Backward, state: state}, nil
+		}
+	}
+}
+
+// emit converts a local outcome into sends and/or a verdict.
+func (n *tmNode) emit(ctx *ring.Context, out localOutcome) ([]ring.Send, error) {
+	if !out.halted {
+		return []ring.Send{{Dir: out.exitDir, Payload: n.algo.encodeHead(out.state)}}, nil
+	}
+	if ctx.IsLeader() {
+		if out.accepted {
+			return nil, ctx.Accept()
+		}
+		return nil, ctx.Reject()
+	}
+	// Carry the verdict forward until it reaches the leader.
+	return []ring.Send{ring.SendForward(encodeResult(out.accepted))}, nil
+}
+
+// Start implements ring.Node: the head begins on the leader's input cell in
+// the machine's start state.
+func (n *tmNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !ctx.IsLeader() {
+		return nil, nil
+	}
+	out, err := n.runLocal(n.algo.machine.Start, len(n.cells)-1)
+	if err != nil {
+		return nil, err
+	}
+	return n.emit(ctx, out)
+}
+
+// Receive implements ring.Node.
+func (n *tmNode) Receive(ctx *ring.Context, from ring.Direction, payload bits.String) ([]ring.Send, error) {
+	r := bits.NewReader(payload)
+	isResult, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("tm-ring: decode tag: %w", err)
+	}
+	if isResult {
+		accepted, err := r.ReadBool()
+		if err != nil {
+			return nil, fmt.Errorf("tm-ring: decode result: %w", err)
+		}
+		if ctx.IsLeader() {
+			if accepted {
+				return nil, ctx.Accept()
+			}
+			return nil, ctx.Reject()
+		}
+		return []ring.Send{ring.SendForward(payload)}, nil
+	}
+	stateValue, err := r.ReadUint(n.algo.stateBits)
+	if err != nil {
+		return nil, fmt.Errorf("tm-ring: decode state: %w", err)
+	}
+	if int(stateValue) >= n.algo.machine.NumStates {
+		return nil, fmt.Errorf("tm-ring: state %d out of range", stateValue)
+	}
+	// A head arriving from our backward neighbour was moving right and lands
+	// on our leftmost cell; one arriving from our forward neighbour was
+	// moving left and lands on our rightmost cell.
+	cellIdx := 0
+	if from == ring.Forward {
+		cellIdx = len(n.cells) - 1
+	}
+	out, err := n.runLocal(State(stateValue), cellIdx)
+	if err != nil {
+		return nil, err
+	}
+	return n.emit(ctx, out)
+}

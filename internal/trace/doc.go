@@ -1,0 +1,16 @@
+// Package trace analyses recorded ring executions. It reconstructs the
+// paper's central lower-bound object — the *information state* of a processor
+// (its initial value plus the ordered sequence of messages it sent and
+// received, with directions) — and provides the counting arguments used in
+// Theorems 2, 4 and 5:
+//
+//   - for an O(n)-bit (equivalently, regular-language) algorithm the number
+//     of distinct information states stays bounded by a constant,
+//   - for a non-regular recognizer the number of distinct information states
+//     must grow linearly with n (at most two processors may share a state in
+//     the unidirectional case, three in the bidirectional case), which is
+//     what forces Ω(n log n) bits.
+//
+// It also checks the token property (at most one message in flight) that the
+// Theorem 5 argument relies on.
+package trace

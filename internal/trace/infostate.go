@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ringlang/internal/ring"
+)
+
+// InformationState is the canonical encoding of one processor's view of an
+// execution: its initial value followed by every message it sent or received,
+// in order, with kind and direction. Two processors are "in the same
+// information state" exactly when these encodings are equal.
+type InformationState struct {
+	Processor int
+	Key       string
+	// Events is the number of send/receive events contributing to the state.
+	Events int
+}
+
+// Analysis summarizes the information states of one execution.
+type Analysis struct {
+	States []InformationState
+	// Distinct is the number of distinct information-state keys.
+	Distinct int
+	// MaxMultiplicity is the largest number of processors sharing one key.
+	MaxMultiplicity int
+}
+
+// ComputeInformationStates reconstructs per-processor information states from
+// a recorded trace. inputs[i] is a printable encoding of processor i's
+// initial value (its letter, its identifier, ...); it must have one entry per
+// processor that appeared in the trace's ring.
+func ComputeInformationStates(tr ring.Trace, inputs []string) (*Analysis, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("trace: inputs must describe every processor")
+	}
+	builders := make([]*strings.Builder, len(inputs))
+	events := make([]int, len(inputs))
+	for i := range builders {
+		builders[i] = &strings.Builder{}
+		builders[i].WriteString("in=")
+		builders[i].WriteString(inputs[i])
+	}
+	for _, ev := range tr {
+		if ev.Kind != ring.EventSend && ev.Kind != ring.EventReceive {
+			continue
+		}
+		if ev.Processor < 0 || ev.Processor >= len(inputs) {
+			return nil, fmt.Errorf("trace: event references processor %d outside the ring of size %d", ev.Processor, len(inputs))
+		}
+		b := builders[ev.Processor]
+		b.WriteByte(';')
+		if ev.Kind == ring.EventSend {
+			b.WriteString("s/")
+		} else {
+			b.WriteString("r/")
+		}
+		b.WriteString(ev.Dir.String())
+		b.WriteByte('/')
+		b.WriteString(ev.Payload.Key())
+		events[ev.Processor]++
+	}
+
+	analysis := &Analysis{States: make([]InformationState, len(inputs))}
+	counts := make(map[string]int, len(inputs))
+	for i, b := range builders {
+		key := b.String()
+		analysis.States[i] = InformationState{Processor: i, Key: key, Events: events[i]}
+		counts[key]++
+	}
+	analysis.Distinct = len(counts)
+	for _, c := range counts {
+		if c > analysis.MaxMultiplicity {
+			analysis.MaxMultiplicity = c
+		}
+	}
+	return analysis, nil
+}
+
+// Multiplicities returns, for each distinct information state, how many
+// processors ended the execution in it, sorted descending.
+func (a *Analysis) Multiplicities() []int {
+	counts := make(map[string]int)
+	for _, st := range a.States {
+		counts[st.Key]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

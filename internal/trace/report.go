@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ringlang/internal/ring"
+)
+
+// Report is a human-readable summary of one recorded execution: the global
+// totals, the per-link traffic, the pass structure and the information-state
+// statistics. It is what cmd/ringrun prints in -trace mode and what the
+// integration tests assert over.
+type Report struct {
+	Verdict        ring.Verdict
+	Processors     int
+	Messages       int
+	Bits           int
+	MaxMessageBits int
+	Passes         int
+	Token          TokenReport
+	InfoStates     *Analysis
+	DistinctMsgs   int
+	// Links is the per-link traffic sorted by (From, To).
+	Links []ring.LinkStats
+}
+
+// BuildReport assembles a Report from an engine result and the per-processor
+// inputs. The result must have been produced with RecordTrace set.
+func BuildReport(res *ring.Result, inputs []string) (*Report, error) {
+	if err := RequireTrace(res); err != nil {
+		return nil, err
+	}
+	analysis, err := ComputeInformationStates(res.Trace, inputs)
+	if err != nil {
+		return nil, err
+	}
+	links := make([]ring.LinkStats, 0, len(res.Stats.PerLink))
+	for _, ls := range res.Stats.PerLink {
+		links = append(links, *ls)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	return &Report{
+		Verdict:        res.Verdict,
+		Processors:     res.Stats.Processors,
+		Messages:       res.Stats.Messages,
+		Bits:           res.Stats.Bits,
+		MaxMessageBits: res.Stats.MaxMessageBits,
+		Passes:         PassCount(res.Trace),
+		Token:          CheckToken(res.Trace),
+		InfoStates:     analysis,
+		DistinctMsgs:   MessageAlphabetSize(res.Trace),
+		Links:          links,
+	}, nil
+}
+
+// Render writes the report in a compact plain-text form.
+func (r *Report) Render(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verdict            : %s\n", r.Verdict)
+	fmt.Fprintf(&sb, "processors         : %d\n", r.Processors)
+	fmt.Fprintf(&sb, "messages           : %d (%d passes)\n", r.Messages, r.Passes)
+	fmt.Fprintf(&sb, "bits               : %d (max message %d bits)\n", r.Bits, r.MaxMessageBits)
+	fmt.Fprintf(&sb, "token property     : %v (max in flight %d)\n", r.Token.IsToken, r.Token.MaxInFlight)
+	fmt.Fprintf(&sb, "information states : %d distinct, max multiplicity %d\n",
+		r.InfoStates.Distinct, r.InfoStates.MaxMultiplicity)
+	fmt.Fprintf(&sb, "distinct messages  : %d\n", r.DistinctMsgs)
+	fmt.Fprintf(&sb, "per-link traffic   :\n")
+	for _, ls := range r.Links {
+		fmt.Fprintf(&sb, "  p%-3d -> p%-3d  %6d msgs  %8d bits\n", ls.From, ls.To, ls.Messages, ls.Bits)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ringlang/internal/ring"
+)
+
+func TestBuildReport(t *testing.T) {
+	n := 6
+	nodes := make([]ring.Node, n)
+	for i := range nodes {
+		nodes[i] = &counterNode{leader: i == ring.LeaderIndex}
+	}
+	res := runTraced(t, nodes)
+	report, err := BuildReport(res, uniformInputs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Verdict != ring.VerdictAccept || report.Processors != n || report.Messages != n {
+		t.Errorf("report header wrong: %+v", report)
+	}
+	if report.Passes != 1 || !report.Token.IsToken {
+		t.Errorf("pass/token analysis wrong: %+v", report)
+	}
+	if report.InfoStates.Distinct != n || report.DistinctMsgs != n {
+		t.Errorf("analysis columns wrong: %+v", report)
+	}
+	if len(report.Links) != n {
+		t.Fatalf("expected %d links, got %d", n, len(report.Links))
+	}
+	for i := 1; i < len(report.Links); i++ {
+		prev, cur := report.Links[i-1], report.Links[i]
+		if cur.From < prev.From {
+			t.Error("links are not sorted")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := report.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"verdict", "token property", "per-link traffic", "p0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}
+
+func TestBuildReportRequiresTrace(t *testing.T) {
+	if _, err := BuildReport(&ring.Result{Stats: &ring.Stats{}}, []string{"a"}); err == nil {
+		t.Error("expected error when no trace was recorded")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+
+	"ringlang/internal/ring"
+)
+
+// TokenReport describes whether an execution satisfied the token property
+// (at most one message in the network at any time), which the Theorem 5
+// argument assumes without loss of generality via the Tiwari–Loui
+// simulation.
+type TokenReport struct {
+	// IsToken is true when at no point more than one message was in flight.
+	IsToken bool
+	// MaxInFlight is the maximum number of simultaneously in-flight messages
+	// observed in the recorded serialization.
+	MaxInFlight int
+	// Violations lists the sequence numbers at which a second message entered
+	// the network.
+	Violations []int
+}
+
+// CheckToken scans the trace's serialization and tracks how many messages are
+// in flight (sent but not yet received).
+func CheckToken(tr ring.Trace) TokenReport {
+	report := TokenReport{IsToken: true}
+	inFlight := 0
+	for _, ev := range tr {
+		switch ev.Kind {
+		case ring.EventSend:
+			inFlight++
+			if inFlight > report.MaxInFlight {
+				report.MaxInFlight = inFlight
+			}
+			if inFlight > 1 {
+				report.IsToken = false
+				report.Violations = append(report.Violations, ev.Seq)
+			}
+		case ring.EventReceive:
+			if inFlight > 0 {
+				inFlight--
+			}
+		}
+	}
+	return report
+}
+
+// PassCount estimates the number of passes of a unidirectional
+// leader-initiated algorithm: each pass starts with a message sent by the
+// leader (paper Section 2), so the number of leader sends is the number of
+// passes.
+func PassCount(tr ring.Trace) int {
+	passes := 0
+	for _, ev := range tr {
+		if ev.Kind == ring.EventSend && ev.Processor == ring.LeaderIndex {
+			passes++
+		}
+	}
+	return passes
+}
+
+// MessageAlphabetSize counts the number of distinct message payloads used in
+// the execution. Corollary 3 of the paper says this stays bounded for any
+// O(n)-bit algorithm; for non-regular recognizers it grows with n.
+func MessageAlphabetSize(tr ring.Trace) int {
+	seen := make(map[string]bool)
+	for _, ev := range tr {
+		if ev.Kind == ring.EventSend {
+			seen[ev.Payload.Key()] = true
+		}
+	}
+	return len(seen)
+}
+
+// RequireTrace returns an error when a result carries no trace; analyses in
+// this package need ring.Config.RecordTrace to have been set.
+func RequireTrace(res *ring.Result) error {
+	if len(res.Trace) == 0 {
+		return fmt.Errorf("trace: execution was run without RecordTrace")
+	}
+	return nil
+}

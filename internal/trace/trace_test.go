@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"testing"
+
+	"ringlang/internal/bits"
+	"ringlang/internal/ring"
+)
+
+// relayNode forwards a fixed payload once around the ring; the leader accepts
+// on return. It gives a deterministic trace to analyse.
+type relayNode struct {
+	leader  bool
+	payload bits.String
+}
+
+func (r *relayNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !r.leader {
+		return nil, nil
+	}
+	return []ring.Send{ring.SendForward(r.payload)}, nil
+}
+
+func (r *relayNode) Receive(ctx *ring.Context, from ring.Direction, payload bits.String) ([]ring.Send, error) {
+	if r.leader {
+		return nil, ctx.Accept()
+	}
+	return []ring.Send{ring.SendForward(payload)}, nil
+}
+
+// counterNode forwards an incrementing delta-coded counter, so every
+// processor sees a different message and ends in a different information
+// state.
+type counterNode struct{ leader bool }
+
+func (c *counterNode) Start(ctx *ring.Context) ([]ring.Send, error) {
+	if !c.leader {
+		return nil, nil
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(1)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+func (c *counterNode) Receive(ctx *ring.Context, from ring.Direction, payload bits.String) ([]ring.Send, error) {
+	if c.leader {
+		return nil, ctx.Accept()
+	}
+	v, err := bits.NewReader(payload).ReadDeltaValue()
+	if err != nil {
+		return nil, err
+	}
+	var w bits.Writer
+	w.WriteDeltaValue(v + 1)
+	return []ring.Send{ring.SendForward(w.String())}, nil
+}
+
+func runTraced(t *testing.T, nodes []ring.Node) *ring.Result {
+	t.Helper()
+	res, err := ring.NewSequentialEngine().Run(ring.Config{RecordTrace: true, RequireVerdict: true}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func uniformInputs(n int) []string {
+	in := make([]string, n)
+	for i := range in {
+		in[i] = "a"
+	}
+	return in
+}
+
+func TestInformationStatesBoundedForConstantMessages(t *testing.T) {
+	// All processors hold the same letter and relay the same 1-bit message,
+	// so every non-leader follower ends in the same information state.
+	n := 20
+	nodes := make([]ring.Node, n)
+	payload := bits.MustFromBinary("1")
+	for i := range nodes {
+		nodes[i] = &relayNode{leader: i == ring.LeaderIndex, payload: payload}
+	}
+	res := runTraced(t, nodes)
+	analysis, err := ComputeInformationStates(res.Trace, uniformInputs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two states: the leader's (send then receive) and the followers'.
+	if analysis.Distinct != 2 {
+		t.Errorf("Distinct = %d, want 2", analysis.Distinct)
+	}
+	if analysis.MaxMultiplicity != n-1 {
+		t.Errorf("MaxMultiplicity = %d, want %d", analysis.MaxMultiplicity, n-1)
+	}
+	mult := analysis.Multiplicities()
+	if len(mult) != 2 || mult[0] != n-1 || mult[1] != 1 {
+		t.Errorf("Multiplicities = %v", mult)
+	}
+}
+
+func TestInformationStatesDistinctForCounterAlgorithm(t *testing.T) {
+	// The counting algorithm sends a different value over every link, so all
+	// processors end in pairwise distinct information states — the structure
+	// behind the Ω(n log n) lower bound of Theorem 4.
+	n := 16
+	nodes := make([]ring.Node, n)
+	for i := range nodes {
+		nodes[i] = &counterNode{leader: i == ring.LeaderIndex}
+	}
+	res := runTraced(t, nodes)
+	analysis, err := ComputeInformationStates(res.Trace, uniformInputs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Distinct != n {
+		t.Errorf("Distinct = %d, want %d", analysis.Distinct, n)
+	}
+	if analysis.MaxMultiplicity != 1 {
+		t.Errorf("MaxMultiplicity = %d, want 1", analysis.MaxMultiplicity)
+	}
+}
+
+func TestInformationStatesUseInputs(t *testing.T) {
+	// Identical message sequences but different inputs must yield different
+	// information states.
+	n := 4
+	nodes := make([]ring.Node, n)
+	payload := bits.MustFromBinary("1")
+	for i := range nodes {
+		nodes[i] = &relayNode{leader: i == ring.LeaderIndex, payload: payload}
+	}
+	res := runTraced(t, nodes)
+	inputs := []string{"a", "b", "a", "b"}
+	analysis, err := ComputeInformationStates(res.Trace, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analysis.Distinct != 3 {
+		t.Errorf("Distinct = %d, want 3 (leader, followers 'a', followers 'b')", analysis.Distinct)
+	}
+}
+
+func TestComputeInformationStatesValidation(t *testing.T) {
+	if _, err := ComputeInformationStates(nil, nil); err == nil {
+		t.Error("expected error for empty inputs")
+	}
+	tr := ring.Trace{{Kind: ring.EventSend, Processor: 7, Payload: bits.Empty()}}
+	if _, err := ComputeInformationStates(tr, []string{"a"}); err == nil {
+		t.Error("expected error for out-of-range processor")
+	}
+}
+
+func TestCheckTokenHoldsForRelay(t *testing.T) {
+	n := 10
+	nodes := make([]ring.Node, n)
+	for i := range nodes {
+		nodes[i] = &counterNode{leader: i == ring.LeaderIndex}
+	}
+	res := runTraced(t, nodes)
+	report := CheckToken(res.Trace)
+	if !report.IsToken || report.MaxInFlight != 1 || len(report.Violations) != 0 {
+		t.Errorf("token report = %+v, want clean single-token execution", report)
+	}
+}
+
+func TestCheckTokenDetectsViolation(t *testing.T) {
+	p := bits.MustFromBinary("1")
+	tr := ring.Trace{
+		{Seq: 0, Kind: ring.EventSend, Processor: 0, Dir: ring.Forward, Payload: p},
+		{Seq: 1, Kind: ring.EventSend, Processor: 0, Dir: ring.Backward, Payload: p},
+		{Seq: 2, Kind: ring.EventReceive, Processor: 1, Dir: ring.Backward, Payload: p},
+		{Seq: 3, Kind: ring.EventReceive, Processor: 2, Dir: ring.Forward, Payload: p},
+	}
+	report := CheckToken(tr)
+	if report.IsToken || report.MaxInFlight != 2 || len(report.Violations) != 1 {
+		t.Errorf("token report = %+v, want a violation at seq 1", report)
+	}
+}
+
+func TestPassCountAndMessageAlphabet(t *testing.T) {
+	n := 8
+	nodes := make([]ring.Node, n)
+	for i := range nodes {
+		nodes[i] = &counterNode{leader: i == ring.LeaderIndex}
+	}
+	res := runTraced(t, nodes)
+	if got := PassCount(res.Trace); got != 1 {
+		t.Errorf("PassCount = %d, want 1", got)
+	}
+	// The counter algorithm uses a distinct payload per link.
+	if got := MessageAlphabetSize(res.Trace); got != n {
+		t.Errorf("MessageAlphabetSize = %d, want %d", got, n)
+	}
+	if err := RequireTrace(res); err != nil {
+		t.Errorf("RequireTrace: %v", err)
+	}
+	if err := RequireTrace(&ring.Result{}); err == nil {
+		t.Error("RequireTrace should fail without a trace")
+	}
+}

@@ -1,0 +1,127 @@
+// Package ringlang is the public facade of the reproduction of Mansour &
+// Zaks, "On the Bit Complexity of Distributed Computations in a Ring with a
+// Leader" (PODC 1986 / Information and Computation 75, 1987).
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// full inventory):
+//
+//	internal/ring      — the ring-with-a-leader simulator (sequential and
+//	                     concurrent engines) with exact bit accounting
+//	internal/automata  — DFA/NFA/regex substrate for Theorem 1
+//	internal/lang      — the paper's languages and word generators
+//	internal/core      — the paper's recognition algorithms
+//	internal/trace     — information-state and token analyses
+//	internal/election  — the leader-election substrate
+//	internal/tm        — the Section 8 TM → ring transformation
+//	internal/bench     — the experiment harness behind EXPERIMENTS.md
+//
+// This package re-exports the handful of entry points a downstream user
+// needs to run a recognition on a ring and read off its bit complexity; the
+// cmd/ tools and examples/ directories show complete usage.
+package ringlang
+
+import (
+	"fmt"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// Re-exported core types. The aliases keep the facade thin: values returned
+// here interoperate directly with the internal packages used by the examples.
+type (
+	// Word is the pattern on the ring, one letter per processor, leader first.
+	Word = lang.Word
+	// Language is a decidable language with word generators.
+	Language = lang.Language
+	// Recognizer is a distributed recognition algorithm.
+	Recognizer = core.Recognizer
+	// Verdict is the leader's accept/reject decision.
+	Verdict = ring.Verdict
+	// Stats is the exact per-execution bit and message accounting.
+	Stats = ring.Stats
+)
+
+// Verdict values.
+const (
+	VerdictAccept = ring.VerdictAccept
+	VerdictReject = ring.VerdictReject
+)
+
+// WordFromString converts a Go string into a ring pattern.
+func WordFromString(s string) Word {
+	return lang.WordFromString(s)
+}
+
+// Report is the outcome of one recognition run.
+type Report struct {
+	// Algorithm and LanguageName identify what ran.
+	Algorithm    string
+	LanguageName string
+	// Verdict is the leader's decision; Member is the language's own answer.
+	Verdict Verdict
+	Member  bool
+	// Messages and Bits are the execution totals; BitsPerProcessor is
+	// Bits / n, the quantity whose asymptotics the paper classifies.
+	Messages          int
+	Bits              int
+	BitsPerProcessor  float64
+	MaxMessageBits    int
+	ProcessorCount    int
+	UsedConcurrentRun bool
+}
+
+// Options configures Recognize.
+type Options struct {
+	// Concurrent runs the goroutine-per-processor engine instead of the
+	// deterministic sequential one.
+	Concurrent bool
+}
+
+// Recognize builds the named algorithm (see AlgorithmNames) and runs it on
+// the ring labelled with word. The language argument is required only by
+// algorithms that are parameterized by a language (for example
+// "regular-one-pass" with "even-ones", or "lg" with "n^1.5").
+func Recognize(algorithm, language string, word Word, opts Options) (*Report, error) {
+	rec, err := core.NewRecognizerByName(algorithm, language)
+	if err != nil {
+		return nil, err
+	}
+	return RecognizeWith(rec, word, opts)
+}
+
+// RecognizeWith runs an already constructed recognizer.
+func RecognizeWith(rec Recognizer, word Word, opts Options) (*Report, error) {
+	runOpts := core.RunOptions{}
+	if opts.Concurrent {
+		runOpts.Engine = ring.NewConcurrentEngine()
+	}
+	res, err := core.Run(rec, word, runOpts)
+	if err != nil {
+		return nil, fmt.Errorf("ringlang: %w", err)
+	}
+	return &Report{
+		Algorithm:         rec.Name(),
+		LanguageName:      rec.Language().Name(),
+		Verdict:           res.Verdict,
+		Member:            rec.Language().Contains(word),
+		Messages:          res.Stats.Messages,
+		Bits:              res.Stats.Bits,
+		BitsPerProcessor:  res.Stats.BitsPerProcessor(),
+		MaxMessageBits:    res.Stats.MaxMessageBits,
+		ProcessorCount:    res.Stats.Processors,
+		UsedConcurrentRun: opts.Concurrent,
+	}, nil
+}
+
+// AlgorithmNames lists the algorithms accepted by Recognize.
+func AlgorithmNames() []string {
+	return core.AlgorithmNames()
+}
+
+// LanguageNames lists the language names accepted by Recognize for the
+// algorithms that take one.
+func LanguageNames() []string {
+	return lang.CatalogNames()
+}

@@ -1,0 +1,68 @@
+package ringlang
+
+import "testing"
+
+func TestRecognizeFacade(t *testing.T) {
+	cases := []struct {
+		algorithm string
+		language  string
+		word      string
+		want      Verdict
+	}{
+		{"three-counters", "", "001122", VerdictAccept},
+		{"three-counters", "", "010212", VerdictReject},
+		{"compare-wcw", "", "abcab", VerdictAccept},
+		{"regular-one-pass", "even-ones", "0110", VerdictAccept},
+		{"regular-one-pass", "even-ones", "0111", VerdictReject},
+	}
+	for _, c := range cases {
+		report, err := Recognize(c.algorithm, c.language, WordFromString(c.word), Options{})
+		if err != nil {
+			t.Fatalf("Recognize(%s, %q): %v", c.algorithm, c.word, err)
+		}
+		if report.Verdict != c.want {
+			t.Errorf("Recognize(%s, %q) = %v, want %v", c.algorithm, c.word, report.Verdict, c.want)
+		}
+		if (report.Verdict == VerdictAccept) != report.Member {
+			t.Errorf("verdict and language membership disagree for %q", c.word)
+		}
+		if report.Bits <= 0 || report.Messages <= 0 || report.ProcessorCount != len(c.word) {
+			t.Errorf("report accounting looks wrong: %+v", report)
+		}
+	}
+}
+
+func TestRecognizeConcurrentOption(t *testing.T) {
+	seq, err := Recognize("three-counters", "", WordFromString("000111222"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Recognize("three-counters", "", WordFromString("000111222"), Options{Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Bits != conc.Bits || seq.Verdict != conc.Verdict {
+		t.Errorf("engines disagree: %+v vs %+v", seq, conc)
+	}
+	if !conc.UsedConcurrentRun || seq.UsedConcurrentRun {
+		t.Error("UsedConcurrentRun flag wrong")
+	}
+}
+
+func TestRecognizeErrors(t *testing.T) {
+	if _, err := Recognize("bogus", "", WordFromString("ab"), Options{}); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+	if _, err := Recognize("three-counters", "", WordFromString(""), Options{}); err == nil {
+		t.Error("expected error for empty ring")
+	}
+}
+
+func TestNameCatalogs(t *testing.T) {
+	if len(AlgorithmNames()) < 10 {
+		t.Error("AlgorithmNames too short")
+	}
+	if len(LanguageNames()) < 10 {
+		t.Error("LanguageNames too short")
+	}
+}
