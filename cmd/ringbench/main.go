@@ -5,6 +5,8 @@
 //	ringbench               # run every experiment (full sweep)
 //	ringbench -quick        # run every experiment with reduced sizes
 //	ringbench -e E3,E7      # run selected experiments
+//	ringbench -e E13        # the full-factorial schedule sweep
+//	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
 //	ringbench -list         # list experiment identifiers
 package main
 
@@ -31,9 +33,19 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiment identifiers and exit")
 		experiment = fs.String("e", "", "comma-separated experiment identifiers (default: all)")
 		plot       = fs.Bool("plot", false, "render the headline log-log scaling figure and exit")
+		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
+		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *seed != 0 && *schedule != "random" && *schedule != "random-order" {
+		return fmt.Errorf("-seed only takes effect with -schedule random (got %q)", *schedule)
+	}
+	if *schedule != "" {
+		if err := bench.SetDefaultSchedule(*schedule, *seed); err != nil {
+			return err
+		}
 	}
 	suite := bench.SuiteFull
 	if *quick {

@@ -6,6 +6,8 @@
 //	ringrun -algorithm three-counters -word 001122
 //	ringrun -algorithm regular-one-pass -language even-ones -word 0110
 //	ringrun -algorithm compare-wcw -word abcab -engine concurrent -trace
+//	ringrun -algorithm three-counters -word 001122 -schedule adversarial
+//	ringrun -algorithm three-counters -word 001122 -schedule random -seed 7
 //	ringrun -list
 package main
 
@@ -33,9 +35,11 @@ func run(args []string, out *os.File) error {
 		algorithm  = fs.String("algorithm", "", "algorithm name (see -list)")
 		language   = fs.String("language", "", "language argument for algorithms that need one")
 		word       = fs.String("word", "", "the pattern on the ring (one letter per processor, leader first)")
-		engineName = fs.String("engine", "sequential", "engine: sequential or concurrent")
+		engineName = fs.String("engine", "sequential", "delivery schedule / engine (see -list)")
+		schedule   = fs.String("schedule", "", "synonym for -engine; takes precedence when both are set")
+		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
 		withTrace  = fs.Bool("trace", false, "print per-execution analysis (passes, token property, information states)")
-		list       = fs.Bool("list", false, "list algorithm and language names and exit")
+		list       = fs.Bool("list", false, "list algorithm, language and schedule names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +53,10 @@ func run(args []string, out *os.File) error {
 		for _, name := range lang.CatalogNames() {
 			fmt.Fprintf(out, "  %s\n", name)
 		}
+		fmt.Fprintln(out, "schedules:")
+		for _, name := range ring.ScheduleNames() {
+			fmt.Fprintf(out, "  %s\n", name)
+		}
 		return nil
 	}
 	if *algorithm == "" || *word == "" {
@@ -58,14 +66,16 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	var engine ring.Engine
-	switch *engineName {
-	case "sequential":
-		engine = ring.NewSequentialEngine()
-	case "concurrent":
-		engine = ring.NewConcurrentEngine()
-	default:
-		return fmt.Errorf("unknown engine %q", *engineName)
+	name := *engineName
+	if *schedule != "" {
+		name = *schedule
+	}
+	if *seed != 0 && name != "random" && name != "random-order" {
+		return fmt.Errorf("-seed only takes effect with the random schedule (got %q)", name)
+	}
+	engine, err := ring.NewEngineByName(name, *seed)
+	if err != nil {
+		return err
 	}
 	w := lang.WordFromString(*word)
 	res, err := core.Run(rec, w, core.RunOptions{Engine: engine, RecordTrace: *withTrace})
@@ -75,6 +85,7 @@ func run(args []string, out *os.File) error {
 
 	fmt.Fprintf(out, "algorithm : %s\n", rec.Name())
 	fmt.Fprintf(out, "language  : %s\n", rec.Language().Name())
+	fmt.Fprintf(out, "schedule  : %s\n", engine.Name())
 	fmt.Fprintf(out, "word      : %q (n=%d)\n", w.String(), len(w))
 	fmt.Fprintf(out, "verdict   : %s (language says member=%v)\n", res.Verdict, rec.Language().Contains(w))
 	fmt.Fprintf(out, "messages  : %d\n", res.Stats.Messages)

@@ -1,0 +1,3 @@
+module ringlang
+
+go 1.24

@@ -30,9 +30,16 @@ const (
 type MeasureOptions struct {
 	// Kind selects member / non-member / random inputs (default member).
 	Kind WordKind
-	// Engine defaults to the deterministic sequential engine.
+	// Engine pins the engine of the sweep. When nil, Schedule names one
+	// (see ring.ScheduleNames); when that is empty too, the sweep runs on
+	// the package default (sequential unless SetDefaultSchedule changed it).
 	Engine ring.Engine
-	// Seed defaults to DefaultSeed.
+	// Schedule names the delivery schedule when Engine is nil. It is a
+	// scenario dimension: the same sweep rerun under another schedule must
+	// report the same bits, and experiments sweep it like sizes.
+	Schedule string
+	// Seed defaults to DefaultSeed. It seeds the word generators and any
+	// randomized schedule.
 	Seed int64
 	// Window is how far above the requested size the generator may go when
 	// the language has no word of exactly that size (default 8).
@@ -50,6 +57,38 @@ func (o MeasureOptions) normalize() MeasureOptions {
 		o.Window = 8
 	}
 	return o
+}
+
+// engine resolves the sweep's engine after normalization.
+func (o MeasureOptions) engine() (ring.Engine, error) {
+	if o.Engine != nil {
+		return o.Engine, nil
+	}
+	if o.Schedule != "" {
+		return ring.NewEngineByName(o.Schedule, o.Seed)
+	}
+	return defaultEngine(), nil
+}
+
+// defaultEngine builds the engine used by sweeps that pin neither an engine
+// nor a schedule. cmd/ringbench's -schedule flag replaces it via
+// SetDefaultSchedule so a whole experiment run can be repeated under another
+// delivery schedule.
+var defaultEngine = func() ring.Engine { return ring.NewSequentialEngine() }
+
+// SetDefaultSchedule routes every sweep that does not explicitly choose an
+// engine or schedule through the named schedule (see ring.ScheduleNames).
+// It mutates a package-wide default and is not synchronized: call it once at
+// process start, before any sweep runs, the way cmd/ringbench does.
+func SetDefaultSchedule(name string, seed int64) error {
+	engine, err := ring.NewEngineByName(name, seed)
+	if err != nil {
+		return err
+	}
+	// Engines are reusable across runs, so the resolved value is captured
+	// directly rather than re-resolved (and its error dropped) per sweep.
+	defaultEngine = func() ring.Engine { return engine }
+	return nil
 }
 
 // wordForSize produces the input word for one sweep point.
@@ -77,6 +116,10 @@ func wordForSize(language lang.Language, n int, kind WordKind, window int, rng *
 // Point per size. Verdicts are cross-checked against the language.
 func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([]Point, error) {
 	opts = opts.normalize()
+	engine, err := opts.engine()
+	if err != nil {
+		return nil, err
+	}
 	points := make([]Point, 0, len(sizes))
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
@@ -86,9 +129,9 @@ func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([
 		}
 		var res *ring.Result
 		if opts.Kind == RandomWords {
-			res, err = core.Run(rec, word, core.RunOptions{Engine: opts.Engine})
+			res, err = core.Run(rec, word, core.RunOptions{Engine: engine})
 		} else {
-			res, err = core.Check(rec, word, core.RunOptions{Engine: opts.Engine})
+			res, err = core.Check(rec, word, core.RunOptions{Engine: engine})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
@@ -103,12 +146,16 @@ func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([
 // traces and per-processor inputs).
 func MeasureOne(rec core.Recognizer, n int, opts MeasureOptions, recordTrace bool) (Point, *ring.Result, lang.Word, error) {
 	opts = opts.normalize()
+	engine, err := opts.engine()
+	if err != nil {
+		return Point{}, nil, nil, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
 	word, err := wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
 	if err != nil {
 		return Point{}, nil, nil, err
 	}
-	res, err := core.Run(rec, word, core.RunOptions{Engine: opts.Engine, RecordTrace: recordTrace})
+	res, err := core.Run(rec, word, core.RunOptions{Engine: engine, RecordTrace: recordTrace})
 	if err != nil {
 		return Point{}, nil, nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
 	}

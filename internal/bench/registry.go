@@ -77,6 +77,8 @@ func Experiments() []Experiment {
 			Run: func(s Suite) (*Table, error) { return ExperimentE11(scale(LinearSizes, s)) }},
 		{ID: "E12", Description: "extensions: bidirectional election (Hirschberg–Sinclair)",
 			Run: func(s Suite) (*Table, error) { return ExperimentE12(scale(HierarchySizes, s)) }},
+		{ID: "E13", Description: "schedule axis: algorithms × sizes × delivery schedules agree on bits",
+			Run: func(s Suite) (*Table, error) { return ExperimentE13(scale([]int{33, 99, 201}, s)) }},
 		{ID: "A1", Description: "ablation: counter encodings",
 			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
 		{ID: "A2", Description: "ablation: DFA minimization",

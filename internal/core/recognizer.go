@@ -29,10 +29,28 @@ var ErrEmptyWord = errors.New("core: ring must hold at least one letter")
 
 // RunOptions configures a single recognition run.
 type RunOptions struct {
-	// Engine to execute on; defaults to the deterministic sequential engine.
+	// Engine to execute on; when nil, Schedule selects a built-in engine,
+	// defaulting to the deterministic sequential one.
 	Engine ring.Engine
+	// Schedule names a built-in delivery schedule — one of
+	// ring.ScheduleNames: "sequential", "random", "round-robin",
+	// "adversarial", "concurrent". Ignored when Engine is non-nil.
+	Schedule string
+	// Seed drives randomized schedules (Schedule == "random").
+	Seed int64
 	// RecordTrace enables trace recording for information-state analyses.
 	RecordTrace bool
+}
+
+// engine resolves the options to a concrete engine.
+func (o RunOptions) engine() (ring.Engine, error) {
+	if o.Engine != nil {
+		return o.Engine, nil
+	}
+	if o.Schedule != "" {
+		return ring.NewEngineByName(o.Schedule, o.Seed)
+	}
+	return ring.NewSequentialEngine(), nil
 }
 
 // Run executes the recognizer on a ring labelled with word and returns the
@@ -51,9 +69,9 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 	if len(nodes) != len(word) {
 		return nil, fmt.Errorf("core: %s built %d nodes for %d letters", rec.Name(), len(nodes), len(word))
 	}
-	engine := opts.Engine
-	if engine == nil {
-		engine = ring.NewSequentialEngine()
+	engine, err := opts.engine()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	cfg := ring.Config{
 		Mode:           rec.Mode(),

@@ -173,16 +173,16 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	// returns false if the run is stopping.
 	dispatch := func(fromProc int, sends []Send) error {
 		for _, s := range sends {
-			if err := validateSend(cfg, s); err != nil {
-				return fmt.Errorf("processor %d: %w", fromProc, err)
+			to, arrival, err := routeSend(cfg, fromProc, s, n)
+			if err != nil {
+				return err
 			}
-			to := neighbour(fromProc, s.Dir, n)
 			st.record(fromProc, to, s.Dir, s.Payload)
 			st.outstanding.Add(1)
 			select {
 			case <-st.stop:
 				return nil
-			case linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrivalDirection(s.Dir), payload: s.Payload}:
+			case linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrival, payload: s.Payload}:
 			}
 		}
 		return nil

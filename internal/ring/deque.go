@@ -1,0 +1,112 @@
+package ring
+
+import "ringlang/internal/bits"
+
+// Delivery is one pending message as the receiver will observe it: the
+// processor it is delivered to, the direction it arrives from (seen from the
+// receiver) and the payload. Schedulers queue Deliveries; the shared event
+// loop (runLoop) performs them.
+type Delivery struct {
+	To      int
+	From    Direction
+	Payload bits.String
+}
+
+// linkIndex maps a (receiver, arrival direction) pair to a dense id in
+// [0, 2n): the directed link the delivery travels over. Schedulers index
+// their per-link state with it, avoiding map-keyed queues on the hot path.
+func linkIndex(to int, arrival Direction) int {
+	return to<<1 | int(arrival-1)
+}
+
+// numLinks is the number of directed link ids on a ring of n processors.
+// Unidirectional runs only ever touch the odd ids: their messages travel
+// Forward, so they arrive from Backward, and linkIndex maps arrival ==
+// Backward to to<<1 | 1.
+func numLinks(n int) int { return 2 * n }
+
+// deque is a growable ring-buffer FIFO of deliveries. Unlike the
+// `queue = queue[1:]` slice idiom it never sheds capacity on pop, so a
+// steady-state run cycles through one reused buffer instead of reallocating
+// as the queue drains and refills.
+type deque struct {
+	buf  []Delivery // len(buf) is zero or a power of two
+	head int
+	n    int
+}
+
+func (d *deque) len() int { return d.n }
+
+func (d *deque) push(x Delivery) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = x
+	d.n++
+}
+
+func (d *deque) pop() Delivery {
+	x := d.buf[d.head]
+	d.buf[d.head] = Delivery{} // release the payload reference
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return x
+}
+
+func (d *deque) clear() {
+	for d.n > 0 {
+		d.pop()
+	}
+	d.head = 0
+}
+
+func (d *deque) grow() {
+	// Start tiny: schedulers keep one deque per directed link, and most links
+	// hold at most a message or two at a time.
+	size := 2 * len(d.buf)
+	if size == 0 {
+		size = 2
+	}
+	buf := make([]Delivery, size)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+// linkQueues is a dense array of per-link FIFO queues plus a pending count,
+// reusable across runs via reset.
+type linkQueues struct {
+	qs      []deque
+	pending int
+}
+
+func (l *linkQueues) reset(links int) {
+	if links <= cap(l.qs) {
+		l.qs = l.qs[:links]
+		for i := range l.qs {
+			l.qs[i].clear()
+		}
+	} else {
+		l.qs = make([]deque, links)
+	}
+	l.pending = 0
+}
+
+// push appends d to the link's queue and reports whether the link was empty
+// before (i.e. just became schedulable).
+func (l *linkQueues) push(link int, d Delivery) (wasEmpty bool) {
+	q := &l.qs[link]
+	wasEmpty = q.len() == 0
+	q.push(d)
+	l.pending++
+	return wasEmpty
+}
+
+func (l *linkQueues) pop(link int) Delivery {
+	l.pending--
+	return l.qs[link].pop()
+}
+
+func (l *linkQueues) lenOf(link int) int { return l.qs[link].len() }

@@ -5,16 +5,31 @@
 // per-processor Node values (closing over whatever input each processor
 // holds) and hand them to an Engine.
 //
-// Two engines implement the same semantics:
+// The paper's bounds hold under every legal asynchronous schedule, so the
+// schedule is a pluggable axis rather than an engine property. A single
+// event loop (runLoop) owns contexts, dispatch validation, bit accounting,
+// trace recording, the start phase and termination; a Scheduler decides only
+// the delivery order, constrained to per-link FIFO. The engines are:
 //
-//   - Sequential: a deterministic event-driven simulator delivering messages
-//     in FIFO order. For unidirectional algorithms this reproduces exactly
-//     the unique execution the paper describes (a round-robin sequence of
-//     messages starting at the leader), and it makes bit counts reproducible.
+//   - Sequential: the loop under a global-FIFO scheduler. For unidirectional
+//     leader-initiated algorithms this reproduces exactly the unique
+//     execution the paper describes and makes bit counts reproducible.
+//   - RandomOrder: the loop under a seeded random scheduler — delivers the
+//     head of a uniformly random non-empty link; used to check
+//     schedule-independence across many seeds.
+//   - RoundRobin: the loop cycling over links in a fixed rotation,
+//     approximating synchronous rounds.
+//   - Adversarial: the loop under a bounded-delay adversary that prefers the
+//     newest non-empty link (maximally anti-FIFO) with a fairness bound so
+//     every message still experiences only a finite delay.
 //   - Concurrent: one goroutine per processor connected by unbounded links,
-//     i.e. a genuinely asynchronous execution. Used to demonstrate that the
-//     algorithms are correct under arbitrary asynchrony and to cross-check
-//     the sequential engine.
+//     i.e. a genuinely asynchronous execution; used to demonstrate that the
+//     algorithms are correct under real concurrency and to cross-check the
+//     scheduler-backed engines.
+//
+// New schedules need only implement Scheduler and wrap it with
+// NewScheduledEngine; NewEngineByName resolves the built-in names (see
+// ScheduleNames) for flags and facade options.
 //
 // The engine, not the algorithm, accounts every payload bit sent over every
 // link; Stats is the quantity all the paper's results are about.

@@ -48,3 +48,14 @@ func validateSend(cfg Config, s Send) error {
 		return fmt.Errorf("ring: invalid send direction %d", s.Dir)
 	}
 }
+
+// routeSend validates one send against the topology and resolves where it
+// goes: the receiving processor and the arrival direction as the receiver
+// perceives it. It is the only caller of validateSend, so every engine —
+// scheduler-backed or concurrent — enforces identical legality rules.
+func routeSend(cfg Config, fromProc int, s Send, n int) (to int, arrival Direction, err error) {
+	if err := validateSend(cfg, s); err != nil {
+		return 0, 0, fmt.Errorf("processor %d: %w", fromProc, err)
+	}
+	return neighbour(fromProc, s.Dir, n), arrivalDirection(s.Dir), nil
+}

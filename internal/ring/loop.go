@@ -1,0 +1,156 @@
+package ring
+
+import "fmt"
+
+// runLoop is the single event loop behind every scheduler-backed engine. It
+// owns everything the seed engines used to triplicate: processor contexts,
+// send validation and routing, stats accounting, trace recording, the start
+// phase, the message budget and termination. The scheduler decides nothing
+// but the delivery order.
+//
+// Trace recording is gated at every site so a run with Config.RecordTrace
+// off never constructs an Event.
+func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
+	cfg, err := cfg.normalize(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	stats := newStats(n)
+	var trace Trace
+	seq := 0
+
+	verdict := VerdictNone
+	contexts := make([]Context, n)
+	for i := range contexts {
+		idx := i
+		contexts[i] = Context{
+			isLeader: idx == LeaderIndex,
+			decide: func(v Verdict) error {
+				if verdict != VerdictNone {
+					return ErrAlreadyDecided
+				}
+				verdict = v
+				if cfg.RecordTrace {
+					trace = append(trace, Event{Seq: seq, Kind: EventVerdict, Processor: idx, Verdict: v})
+					seq++
+				}
+				return nil
+			},
+		}
+	}
+
+	sched.Reset(numLinks(n))
+	dispatch := func(fromProc int, sends []Send) error {
+		for _, s := range sends {
+			to, arrival, err := routeSend(cfg, fromProc, s, n)
+			if err != nil {
+				return err
+			}
+			stats.record(fromProc, to, s.Payload)
+			if cfg.RecordTrace {
+				trace = append(trace, Event{Seq: seq, Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
+				seq++
+			}
+			sched.Push(linkIndex(to, arrival), Delivery{To: to, From: arrival, Payload: s.Payload})
+		}
+		return nil
+	}
+
+	// Start phase.
+	for i := 0; i < n; i++ {
+		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
+			continue
+		}
+		if cfg.RecordTrace {
+			trace = append(trace, Event{Seq: seq, Kind: EventStart, Processor: i})
+			seq++
+		}
+		sends, err := nodes[i].Start(&contexts[i])
+		if err != nil {
+			return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
+		}
+		if err := dispatch(i, sends); err != nil {
+			return nil, err
+		}
+		if verdict != VerdictNone {
+			break
+		}
+	}
+
+	// Delivery loop.
+	delivered := 0
+	for verdict == VerdictNone {
+		d, ok := sched.Next()
+		if !ok {
+			break
+		}
+		if delivered >= cfg.MaxMessages {
+			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, delivered)
+		}
+		delivered++
+		if cfg.RecordTrace {
+			trace = append(trace, Event{Seq: seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload})
+			seq++
+		}
+		sends, err := nodes[d.To].Receive(&contexts[d.To], d.From, d.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("ring: receive at processor %d: %w", d.To, err)
+		}
+		if verdict != VerdictNone {
+			// The leader decided while processing this delivery; the paper's
+			// model terminates the execution at that point.
+			break
+		}
+		if err := dispatch(d.To, sends); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.RequireVerdict && verdict == VerdictNone {
+		return nil, ErrNoVerdict
+	}
+	return &Result{Verdict: verdict, Stats: stats, Trace: trace}, nil
+}
+
+// ScheduledEngine drives the shared event loop with a fresh scheduler per
+// run, so one engine value stays reusable (and as goroutine-safe as the seed
+// engines) no matter how much state its schedule keeps.
+type ScheduledEngine struct {
+	name    string
+	factory func() Scheduler
+}
+
+// NewScheduledEngine wraps a scheduler factory as an Engine. This is the
+// extension point for schedules the built-in names do not cover: implement
+// Scheduler, wrap it here, and every recognizer, experiment and test can run
+// under it — no fourth engine copy required.
+func NewScheduledEngine(name string, factory func() Scheduler) *ScheduledEngine {
+	return &ScheduledEngine{name: name, factory: factory}
+}
+
+var _ Engine = (*ScheduledEngine)(nil)
+
+// Name implements Engine.
+func (e *ScheduledEngine) Name() string { return e.name }
+
+// Run implements Engine.
+func (e *ScheduledEngine) Run(cfg Config, nodes []Node) (*Result, error) {
+	return runLoop(cfg, nodes, e.factory())
+}
+
+// NewRoundRobinEngine returns an engine delivering round-robin by link.
+func NewRoundRobinEngine() *ScheduledEngine {
+	return NewScheduledEngine("round-robin", NewRoundRobinScheduler)
+}
+
+// NewAdversarialEngine returns an engine running the bounded-delay adversary
+// (see adversarialScheduler). Bounds below 1 fall back to
+// DefaultAdversarialBound.
+func NewAdversarialEngine(bound int) *ScheduledEngine {
+	if bound < 1 {
+		bound = DefaultAdversarialBound
+	}
+	return NewScheduledEngine(fmt.Sprintf("adversarial(bound=%d)", bound),
+		func() Scheduler { return NewAdversarialScheduler(bound) })
+}

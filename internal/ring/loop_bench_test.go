@@ -1,0 +1,297 @@
+package ring
+
+// Benchmarks for the shared event loop, plus replicas of the pre-refactor
+// engine loops (`queue = queue[1:]` slice pops and map-keyed link queues) so
+// the allocation savings of the ring-buffer deque and the dense per-link
+// arrays stay measurable — and enforced by TestLoopAllocatesLessThanSeedLoop
+// — after the originals are gone.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ringlang/internal/bits"
+)
+
+// seedSequentialRun replicates the seed SequentialEngine.Run delivery loop:
+// a single []pendingDelivery advanced with queue = queue[1:].
+func seedSequentialRun(cfg Config, nodes []Node) (*Result, error) {
+	cfg, err := cfg.normalize(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	stats := newStats(n)
+	var trace Trace
+	seq := 0
+	addEvent := func(ev Event) {
+		if !cfg.RecordTrace {
+			return
+		}
+		ev.Seq = seq
+		trace = append(trace, ev)
+	}
+
+	verdict := VerdictNone
+	contexts := make([]*Context, n)
+	for i := range contexts {
+		idx := i
+		contexts[i] = &Context{
+			isLeader: idx == LeaderIndex,
+			decide: func(v Verdict) error {
+				if verdict != VerdictNone {
+					return ErrAlreadyDecided
+				}
+				verdict = v
+				addEvent(Event{Kind: EventVerdict, Processor: idx, Verdict: v})
+				seq++
+				return nil
+			},
+		}
+	}
+
+	type pendingDelivery struct {
+		to      int
+		from    Direction
+		payload bits.String
+	}
+	var queue []pendingDelivery
+	dispatch := func(fromProc int, sends []Send) error {
+		for _, s := range sends {
+			to, arrival, err := routeSend(cfg, fromProc, s, n)
+			if err != nil {
+				return err
+			}
+			stats.record(fromProc, to, s.Payload)
+			addEvent(Event{Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
+			seq++
+			queue = append(queue, pendingDelivery{to: to, from: arrival, payload: s.Payload})
+		}
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
+			continue
+		}
+		addEvent(Event{Kind: EventStart, Processor: i})
+		seq++
+		sends, err := nodes[i].Start(contexts[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := dispatch(i, sends); err != nil {
+			return nil, err
+		}
+		if verdict != VerdictNone {
+			break
+		}
+	}
+
+	delivered := 0
+	for len(queue) > 0 && verdict == VerdictNone {
+		if delivered >= cfg.MaxMessages {
+			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, delivered)
+		}
+		d := queue[0]
+		queue = queue[1:]
+		delivered++
+		addEvent(Event{Kind: EventReceive, Processor: d.to, Dir: d.from, Payload: d.payload})
+		seq++
+		sends, err := nodes[d.to].Receive(contexts[d.to], d.from, d.payload)
+		if err != nil {
+			return nil, err
+		}
+		if verdict != VerdictNone {
+			break
+		}
+		if err := dispatch(d.to, sends); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.RequireVerdict && verdict == VerdictNone {
+		return nil, ErrNoVerdict
+	}
+	return &Result{Verdict: verdict, Stats: stats, Trace: trace}, nil
+}
+
+// seedRandomOrderRun replicates the seed RandomOrderEngine.Run delivery loop:
+// per-link FIFO queues keyed by a struct in a map.
+func seedRandomOrderRun(cfg Config, nodes []Node, seedVal int64) (*Result, error) {
+	cfg, err := cfg.normalize(len(nodes))
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	rng := rand.New(rand.NewSource(seedVal))
+	stats := newStats(n)
+	verdict := VerdictNone
+	contexts := make([]*Context, n)
+	for i := range contexts {
+		idx := i
+		contexts[i] = &Context{
+			isLeader: idx == LeaderIndex,
+			decide: func(v Verdict) error {
+				if verdict != VerdictNone {
+					return ErrAlreadyDecided
+				}
+				verdict = v
+				return nil
+			},
+		}
+	}
+
+	type linkKey struct {
+		to   int
+		from Direction
+	}
+	queues := make(map[linkKey][]bits.String)
+	var nonEmpty []linkKey
+	dispatch := func(fromProc int, sends []Send) error {
+		for _, s := range sends {
+			to, arrival, err := routeSend(cfg, fromProc, s, n)
+			if err != nil {
+				return err
+			}
+			stats.record(fromProc, to, s.Payload)
+			key := linkKey{to: to, from: arrival}
+			q := queues[key]
+			if len(q) == 0 {
+				nonEmpty = append(nonEmpty, key)
+			}
+			queues[key] = append(q, s.Payload)
+		}
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
+			continue
+		}
+		sends, err := nodes[i].Start(contexts[i])
+		if err != nil {
+			return nil, err
+		}
+		if err := dispatch(i, sends); err != nil {
+			return nil, err
+		}
+		if verdict != VerdictNone {
+			break
+		}
+	}
+
+	delivered := 0
+	for len(nonEmpty) > 0 && verdict == VerdictNone {
+		if delivered >= cfg.MaxMessages {
+			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, delivered)
+		}
+		idx := rng.Intn(len(nonEmpty))
+		key := nonEmpty[idx]
+		q := queues[key]
+		payload := q[0]
+		q = q[1:]
+		queues[key] = q
+		if len(q) == 0 {
+			nonEmpty[idx] = nonEmpty[len(nonEmpty)-1]
+			nonEmpty = nonEmpty[:len(nonEmpty)-1]
+		}
+		delivered++
+		sends, err := nodes[key.to].Receive(contexts[key.to], key.from, payload)
+		if err != nil {
+			return nil, err
+		}
+		if verdict != VerdictNone {
+			break
+		}
+		if err := dispatch(key.to, sends); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.RequireVerdict && verdict == VerdictNone {
+		return nil, ErrNoVerdict
+	}
+	return &Result{Verdict: verdict, Stats: stats, Trace: nil}, nil
+}
+
+func benchRun(b *testing.B, run func() (*Result, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Verdict != VerdictAccept {
+			b.Fatalf("unexpected verdict %v", res.Verdict)
+		}
+	}
+}
+
+// BenchmarkEngine exercises every scheduler-backed engine (plus the seed
+// replicas as baselines) on the one-bit token ring: n deliveries per run,
+// trace recording on and off.
+func BenchmarkEngine(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		nodes := tokenNodes(n)
+		for _, withTrace := range []bool{false, true} {
+			cfg := Config{RequireVerdict: true, RecordTrace: withTrace}
+			suffix := fmt.Sprintf("/n=%d/trace=%v", n, withTrace)
+			b.Run("seq-seed"+suffix, func(b *testing.B) {
+				benchRun(b, func() (*Result, error) { return seedSequentialRun(cfg, nodes) })
+			})
+			b.Run("sequential"+suffix, func(b *testing.B) {
+				eng := NewSequentialEngine()
+				benchRun(b, func() (*Result, error) { return eng.Run(cfg, nodes) })
+			})
+			if !withTrace {
+				b.Run("random-seed"+suffix, func(b *testing.B) {
+					benchRun(b, func() (*Result, error) { return seedRandomOrderRun(cfg, nodes, 11) })
+				})
+			}
+			b.Run("random"+suffix, func(b *testing.B) {
+				eng := NewRandomOrderEngine(11)
+				benchRun(b, func() (*Result, error) { return eng.Run(cfg, nodes) })
+			})
+			b.Run("round-robin"+suffix, func(b *testing.B) {
+				eng := NewRoundRobinEngine()
+				benchRun(b, func() (*Result, error) { return eng.Run(cfg, nodes) })
+			})
+			b.Run("adversarial"+suffix, func(b *testing.B) {
+				eng := NewAdversarialEngine(DefaultAdversarialBound)
+				benchRun(b, func() (*Result, error) { return eng.Run(cfg, nodes) })
+			})
+		}
+	}
+}
+
+// TestLoopAllocatesLessThanSeedLoop pins the point of the deque refactor: at
+// n=4096 the shared loop must allocate strictly less than the seed
+// `queue[1:]` implementation it replaced.
+func TestLoopAllocatesLessThanSeedLoop(t *testing.T) {
+	n := 4096
+	nodes := tokenNodes(n)
+	cfg := Config{RequireVerdict: true}
+	run := func(f func() (*Result, error)) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := f(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	seedAllocs := run(func() (*Result, error) { return seedSequentialRun(cfg, nodes) })
+	loopAllocs := run(func() (*Result, error) { return NewSequentialEngine().Run(cfg, nodes) })
+	if loopAllocs >= seedAllocs {
+		t.Errorf("shared loop allocates %.0f/run, seed loop %.0f/run — the deque should win", loopAllocs, seedAllocs)
+	}
+	t.Logf("allocs/run at n=%d: seed=%.0f loop=%.0f", n, seedAllocs, loopAllocs)
+
+	seedRandom := run(func() (*Result, error) { return seedRandomOrderRun(cfg, nodes, 5) })
+	loopRandom := run(func() (*Result, error) { return NewRandomOrderEngine(5).Run(cfg, nodes) })
+	if loopRandom >= seedRandom {
+		t.Errorf("random scheduler allocates %.0f/run, seed map version %.0f/run", loopRandom, seedRandom)
+	}
+	t.Logf("random allocs/run at n=%d: seed=%.0f loop=%.0f", n, seedRandom, loopRandom)
+}

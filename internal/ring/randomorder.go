@@ -1,19 +1,13 @@
 package ring
 
-import (
-	"fmt"
-	"math/rand"
-
-	"ringlang/internal/bits"
-)
+import "fmt"
 
 // RandomOrderEngine is a single-goroutine engine that delivers pending
 // messages in a pseudo-random (but seeded, hence reproducible) order instead
-// of FIFO. Because the asynchronous model allows any finite message delay,
-// every such order is a legal execution; running an algorithm under many
-// seeds is how the test suite checks that verdicts and bit totals are
-// schedule-independent (and how the adversarial-schedule property tests
-// probe algorithms that would only work under FIFO delivery).
+// of FIFO: the shared event loop under a seeded random scheduler. Because the
+// asynchronous model allows any finite message delay, every such order is a
+// legal execution; running an algorithm under many seeds is how the test
+// suite checks that verdicts and bit totals are schedule-independent.
 //
 // Messages on the same directed link still respect FIFO order (links are
 // channels; they do not reorder), matching the concurrent engine's link
@@ -35,121 +29,5 @@ func (e *RandomOrderEngine) Name() string { return fmt.Sprintf("random-order(see
 
 // Run implements Engine.
 func (e *RandomOrderEngine) Run(cfg Config, nodes []Node) (*Result, error) {
-	cfg, err := cfg.normalize(len(nodes))
-	if err != nil {
-		return nil, err
-	}
-	n := len(nodes)
-	rng := rand.New(rand.NewSource(e.seed))
-	stats := newStats(n)
-	var trace Trace
-	seq := 0
-	addEvent := func(ev Event) {
-		if !cfg.RecordTrace {
-			return
-		}
-		ev.Seq = seq
-		trace = append(trace, ev)
-	}
-
-	verdict := VerdictNone
-	contexts := make([]*Context, n)
-	for i := range contexts {
-		idx := i
-		contexts[i] = &Context{
-			isLeader: idx == LeaderIndex,
-			decide: func(v Verdict) error {
-				if verdict != VerdictNone {
-					return ErrAlreadyDecided
-				}
-				verdict = v
-				addEvent(Event{Kind: EventVerdict, Processor: idx, Verdict: v})
-				seq++
-				return nil
-			},
-		}
-	}
-
-	// Per-directed-link FIFO queues; the scheduler picks a random non-empty
-	// link and delivers its head.
-	type linkKey struct {
-		to   int
-		from Direction
-	}
-	queues := make(map[linkKey][]bits.String)
-	var nonEmpty []linkKey
-	push := func(key linkKey, payload bits.String) {
-		q := queues[key]
-		if len(q) == 0 {
-			nonEmpty = append(nonEmpty, key)
-		}
-		queues[key] = append(q, payload)
-	}
-	dispatch := func(fromProc int, sends []Send) error {
-		for _, s := range sends {
-			if err := validateSend(cfg, s); err != nil {
-				return fmt.Errorf("processor %d: %w", fromProc, err)
-			}
-			to := neighbour(fromProc, s.Dir, n)
-			stats.record(fromProc, to, s.Payload)
-			addEvent(Event{Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
-			seq++
-			push(linkKey{to: to, from: arrivalDirection(s.Dir)}, s.Payload)
-		}
-		return nil
-	}
-
-	for i := 0; i < n; i++ {
-		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
-			continue
-		}
-		addEvent(Event{Kind: EventStart, Processor: i})
-		seq++
-		sends, err := nodes[i].Start(contexts[i])
-		if err != nil {
-			return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
-		}
-		if err := dispatch(i, sends); err != nil {
-			return nil, err
-		}
-		if verdict != VerdictNone {
-			break
-		}
-	}
-
-	delivered := 0
-	for len(nonEmpty) > 0 && verdict == VerdictNone {
-		if delivered >= cfg.MaxMessages {
-			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, delivered)
-		}
-		// Pick a random non-empty link and deliver its head message.
-		idx := rng.Intn(len(nonEmpty))
-		key := nonEmpty[idx]
-		q := queues[key]
-		payload := q[0]
-		q = q[1:]
-		queues[key] = q
-		if len(q) == 0 {
-			nonEmpty[idx] = nonEmpty[len(nonEmpty)-1]
-			nonEmpty = nonEmpty[:len(nonEmpty)-1]
-		}
-		delivered++
-		addEvent(Event{Kind: EventReceive, Processor: key.to, Dir: key.from, Payload: payload})
-		seq++
-		sends, err := nodes[key.to].Receive(contexts[key.to], key.from, payload)
-		if err != nil {
-			return nil, fmt.Errorf("ring: receive at processor %d: %w", key.to, err)
-		}
-		if verdict != VerdictNone {
-			break
-		}
-		if err := dispatch(key.to, sends); err != nil {
-			return nil, err
-		}
-	}
-
-	if cfg.RequireVerdict && verdict == VerdictNone {
-		return nil, ErrNoVerdict
-	}
-	return &Result{Verdict: verdict, Stats: stats, Trace: trace}, nil
+	return runLoop(cfg, nodes, &randomScheduler{seed: e.seed})
 }

@@ -1,0 +1,294 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Scheduler chooses the order in which pending messages are delivered by the
+// shared event loop (runLoop). The paper's bounds hold under every legal
+// asynchronous schedule, so the schedule is an experiment axis, not an engine
+// property: one loop, many schedulers.
+//
+// Implementations must preserve FIFO order within each directed link — links
+// are channels and never reorder — but may interleave different links
+// arbitrarily; every such interleaving is a legal execution of the
+// asynchronous model.
+type Scheduler interface {
+	// Name identifies the schedule in reports and flag values.
+	Name() string
+	// Reset prepares the scheduler for a fresh run over `links` directed
+	// links (see linkIndex), discarding any state from a previous run.
+	Reset(links int)
+	// Push appends d to the FIFO queue of the given link.
+	Push(link int, d Delivery)
+	// Next removes and returns the next delivery to perform; ok is false
+	// when no message is pending.
+	Next() (d Delivery, ok bool)
+}
+
+// fifoScheduler delivers messages in global first-in-first-out order — the
+// schedule the seed SequentialEngine hardcoded. One shared deque suffices:
+// global FIFO trivially preserves per-link FIFO.
+type fifoScheduler struct {
+	q deque
+}
+
+// NewFIFOScheduler returns the deterministic global-FIFO schedule.
+func NewFIFOScheduler() Scheduler { return &fifoScheduler{} }
+
+func (s *fifoScheduler) Name() string              { return "fifo" }
+func (s *fifoScheduler) Reset(links int)           { s.q.clear() }
+func (s *fifoScheduler) Push(link int, d Delivery) { s.q.push(d) }
+
+func (s *fifoScheduler) Next() (Delivery, bool) {
+	if s.q.len() == 0 {
+		return Delivery{}, false
+	}
+	return s.q.pop(), true
+}
+
+// randomScheduler delivers the head of a uniformly random non-empty link,
+// driven by a seeded generator so runs are reproducible.
+type randomScheduler struct {
+	seed     int64
+	rng      *rand.Rand
+	links    linkQueues
+	nonEmpty []int
+}
+
+// NewRandomScheduler returns a seeded random-order schedule.
+func NewRandomScheduler(seed int64) Scheduler { return &randomScheduler{seed: seed} }
+
+func (s *randomScheduler) Name() string { return fmt.Sprintf("random(seed=%d)", s.seed) }
+
+func (s *randomScheduler) Reset(links int) {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.links.reset(links)
+	s.nonEmpty = s.nonEmpty[:0]
+}
+
+func (s *randomScheduler) Push(link int, d Delivery) {
+	if s.links.push(link, d) {
+		s.nonEmpty = append(s.nonEmpty, link)
+	}
+}
+
+func (s *randomScheduler) Next() (Delivery, bool) {
+	if len(s.nonEmpty) == 0 {
+		return Delivery{}, false
+	}
+	i := s.rng.Intn(len(s.nonEmpty))
+	link := s.nonEmpty[i]
+	d := s.links.pop(link)
+	if s.links.lenOf(link) == 0 {
+		s.nonEmpty[i] = s.nonEmpty[len(s.nonEmpty)-1]
+		s.nonEmpty = s.nonEmpty[:len(s.nonEmpty)-1]
+	}
+	return d, true
+}
+
+// roundRobinScheduler cycles over the directed links in a fixed rotation,
+// delivering at most one message per link per turn. It approximates the
+// synchronous round structure distributed algorithms are often (incorrectly)
+// reasoned about in, while remaining a legal asynchronous schedule.
+type roundRobinScheduler struct {
+	links  linkQueues
+	cursor int
+}
+
+// NewRoundRobinScheduler returns the round-robin-by-link schedule.
+func NewRoundRobinScheduler() Scheduler { return &roundRobinScheduler{} }
+
+func (s *roundRobinScheduler) Name() string { return "round-robin" }
+
+func (s *roundRobinScheduler) Reset(links int) {
+	s.links.reset(links)
+	s.cursor = 0
+}
+
+func (s *roundRobinScheduler) Push(link int, d Delivery) { s.links.push(link, d) }
+
+func (s *roundRobinScheduler) Next() (Delivery, bool) {
+	if s.links.pending == 0 {
+		return Delivery{}, false
+	}
+	n := len(s.links.qs)
+	for i := 0; i < n; i++ {
+		link := s.cursor + i
+		if link >= n {
+			link -= n
+		}
+		if s.links.lenOf(link) > 0 {
+			s.cursor = link + 1
+			if s.cursor == n {
+				s.cursor = 0
+			}
+			return s.links.pop(link), true
+		}
+	}
+	// Unreachable: pending > 0 implies some link is non-empty.
+	return Delivery{}, false
+}
+
+// DefaultAdversarialBound is the fairness bound used when an adversarial
+// schedule is selected by name.
+const DefaultAdversarialBound = 8
+
+// adversarialScheduler is a bounded-delay adversary. It prefers the link that
+// became non-empty most recently (newest-first — the exact opposite of FIFO),
+// which maximally delays old messages and flushes out algorithms that
+// silently assume global FIFO delivery. Every bound-th delivery it instead
+// serves the longest-waiting link, so no message is delayed forever and the
+// schedule stays legal under the paper's finite-delay asynchronous model.
+//
+// Bookkeeping: every non-empty link keeps at least one live hint on the
+// newest-first stack and one in the oldest-first queue. Hints for links that
+// were drained through the other structure go stale and are skipped on pop;
+// a stale hint can at worst cause a link to be offered again, never reorder
+// a link's own FIFO queue.
+type adversarialScheduler struct {
+	bound    int
+	links    linkQueues
+	newest   []int // stack of hints, newest activation last
+	oldest   []int // queue of hints, oldest activation first
+	oldestAt int   // head index into oldest
+	count    int
+}
+
+// NewAdversarialScheduler returns a bounded-delay adversarial schedule.
+// Bounds below 1 fall back to DefaultAdversarialBound.
+func NewAdversarialScheduler(bound int) Scheduler {
+	if bound < 1 {
+		bound = DefaultAdversarialBound
+	}
+	return &adversarialScheduler{bound: bound}
+}
+
+func (s *adversarialScheduler) Name() string {
+	return fmt.Sprintf("adversarial(bound=%d)", s.bound)
+}
+
+func (s *adversarialScheduler) Reset(links int) {
+	s.links.reset(links)
+	s.newest = s.newest[:0]
+	s.oldest = s.oldest[:0]
+	s.oldestAt = 0
+	s.count = 0
+}
+
+func (s *adversarialScheduler) Push(link int, d Delivery) {
+	if s.links.push(link, d) {
+		s.newest = append(s.newest, link)
+		s.oldest = append(s.oldest, link)
+	}
+}
+
+func (s *adversarialScheduler) Next() (Delivery, bool) {
+	if s.links.pending == 0 {
+		return Delivery{}, false
+	}
+	s.count++
+	var link int
+	if s.count%s.bound == 0 {
+		link = s.popOldest()
+		d := s.links.pop(link)
+		if s.links.lenOf(link) > 0 {
+			s.oldest = append(s.oldest, link)
+		}
+		return d, true
+	}
+	link = s.popNewest()
+	d := s.links.pop(link)
+	if s.links.lenOf(link) > 0 {
+		s.newest = append(s.newest, link)
+	}
+	return d, true
+}
+
+// popNewest pops hints off the stack until one names a non-empty link.
+func (s *adversarialScheduler) popNewest() int {
+	for {
+		link := s.newest[len(s.newest)-1]
+		s.newest = s.newest[:len(s.newest)-1]
+		if s.links.lenOf(link) > 0 {
+			return link
+		}
+	}
+}
+
+// popOldest advances the queue head past stale hints to a non-empty link.
+func (s *adversarialScheduler) popOldest() int {
+	for {
+		link := s.oldest[s.oldestAt]
+		s.oldestAt++
+		if s.oldestAt > len(s.oldest)/2 {
+			s.oldest = append(s.oldest[:0], s.oldest[s.oldestAt:]...)
+			s.oldestAt = 0
+		}
+		if s.links.lenOf(link) > 0 {
+			return link
+		}
+	}
+}
+
+// ScheduleNames lists the schedule names accepted by NewSchedulerByName and
+// NewEngineByName (and hence by every -engine/-schedule flag and the facade's
+// Options.Schedule). "concurrent" is special: it names the
+// goroutine-per-processor engine rather than a scheduler-backed one.
+func ScheduleNames() []string {
+	return []string{"sequential", "random", "round-robin", "adversarial", "concurrent"}
+}
+
+// schedulerFactoryByName is the single name → scheduler table behind both
+// NewSchedulerByName and NewEngineByName; a new schedule needs exactly one
+// case here plus its ScheduleNames entry. The seed drives randomized
+// schedules and is ignored by deterministic ones. Accepted aliases: "fifo"
+// for "sequential", "random-order" for "random", "bounded-delay" for
+// "adversarial".
+func schedulerFactoryByName(name string, seed int64) (func() Scheduler, error) {
+	switch name {
+	case "sequential", "fifo":
+		return NewFIFOScheduler, nil
+	case "random", "random-order":
+		return func() Scheduler { return NewRandomScheduler(seed) }, nil
+	case "round-robin":
+		return NewRoundRobinScheduler, nil
+	case "adversarial", "bounded-delay":
+		return func() Scheduler { return NewAdversarialScheduler(DefaultAdversarialBound) }, nil
+	default:
+		return nil, fmt.Errorf("ring: unknown schedule %q (known: %s)",
+			name, strings.Join(ScheduleNames(), ", "))
+	}
+}
+
+// NewSchedulerByName builds a built-in scheduler by name.
+func NewSchedulerByName(name string, seed int64) (Scheduler, error) {
+	factory, err := schedulerFactoryByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return factory(), nil
+}
+
+// NewEngineByName resolves a schedule name (see ScheduleNames) to a
+// ready-to-run engine. This is the single lookup behind the cmd tools'
+// -engine/-schedule flags and the facade's Options.Schedule. The names with
+// dedicated engine types are special-cased; everything else is resolved
+// through the shared scheduler table.
+func NewEngineByName(name string, seed int64) (Engine, error) {
+	switch name {
+	case "sequential", "fifo":
+		return NewSequentialEngine(), nil
+	case "random", "random-order":
+		return NewRandomOrderEngine(seed), nil
+	case "concurrent":
+		return NewConcurrentEngine(), nil
+	}
+	factory, err := schedulerFactoryByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewScheduledEngine(factory().Name(), factory), nil
+}

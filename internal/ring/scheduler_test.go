@@ -1,0 +1,309 @@
+package ring
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mark builds a Delivery whose To field tags it, so scheduler unit tests can
+// track ordering without inspecting payloads.
+func mark(tag int) Delivery { return Delivery{To: tag} }
+
+func TestDequePushPopWrapAndGrow(t *testing.T) {
+	var d deque
+	if d.len() != 0 {
+		t.Fatal("new deque should be empty")
+	}
+	// Interleave pushes and pops so head wraps around the buffer, then grow
+	// past the initial capacity.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			d.push(mark(round*100 + i))
+		}
+		for i := 0; i < 100; i++ {
+			if got := d.pop(); got.To != round*100+i {
+				t.Fatalf("round %d: pop = %d, want %d", round, got.To, round*100+i)
+			}
+		}
+	}
+	d.push(mark(7))
+	d.clear()
+	if d.len() != 0 {
+		t.Error("clear should empty the deque")
+	}
+}
+
+func TestSchedulersPreservePerLinkFIFO(t *testing.T) {
+	scheds := []Scheduler{
+		NewFIFOScheduler(),
+		NewRandomScheduler(42),
+		NewRoundRobinScheduler(),
+		NewAdversarialScheduler(3),
+	}
+	for _, s := range scheds {
+		s.Reset(8)
+		// Three messages on link 2 interleaved with traffic on links 0 and 5.
+		s.Push(2, mark(20))
+		s.Push(0, mark(0))
+		s.Push(2, mark(21))
+		s.Push(5, mark(50))
+		s.Push(2, mark(22))
+		var link2 []int
+		for {
+			d, ok := s.Next()
+			if !ok {
+				break
+			}
+			if d.To >= 20 && d.To < 30 {
+				link2 = append(link2, d.To)
+			}
+		}
+		if len(link2) != 3 || link2[0] != 20 || link2[1] != 21 || link2[2] != 22 {
+			t.Errorf("%s: link 2 deliveries out of FIFO order: %v", s.Name(), link2)
+		}
+		if _, ok := s.Next(); ok {
+			t.Errorf("%s: Next on a drained scheduler should report no delivery", s.Name())
+		}
+	}
+}
+
+func TestSchedulerResetDiscardsState(t *testing.T) {
+	scheds := []Scheduler{
+		NewFIFOScheduler(),
+		NewRandomScheduler(1),
+		NewRoundRobinScheduler(),
+		NewAdversarialScheduler(2),
+	}
+	for _, s := range scheds {
+		s.Reset(4)
+		s.Push(1, mark(1))
+		s.Push(3, mark(3))
+		s.Reset(4)
+		if d, ok := s.Next(); ok {
+			t.Errorf("%s: Reset leaked a pending delivery: %+v", s.Name(), d)
+		}
+	}
+}
+
+func TestRoundRobinCyclesLinks(t *testing.T) {
+	s := NewRoundRobinScheduler()
+	s.Reset(6)
+	// Two messages each on links 1 and 4; round-robin must alternate links
+	// rather than drain one first.
+	s.Push(1, mark(10))
+	s.Push(1, mark(11))
+	s.Push(4, mark(40))
+	s.Push(4, mark(41))
+	var order []int
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		order = append(order, d.To)
+	}
+	want := []int{10, 40, 11, 41}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAdversarialPrefersNewestLink(t *testing.T) {
+	s := NewAdversarialScheduler(100) // fairness bound far away
+	s.Reset(6)
+	s.Push(0, mark(0))
+	s.Push(1, mark(1))
+	s.Push(2, mark(2))
+	// Newest-first: link 2, then 1, then 0.
+	for _, want := range []int{2, 1, 0} {
+		d, ok := s.Next()
+		if !ok || d.To != want {
+			t.Fatalf("adversarial delivery = %+v (ok=%v), want link %d", d, ok, want)
+		}
+	}
+}
+
+func TestAdversarialFairnessBoundServesOldestLink(t *testing.T) {
+	s := NewAdversarialScheduler(2) // every 2nd delivery serves the oldest link
+	s.Reset(4)
+	s.Push(0, mark(0)) // oldest
+	s.Push(1, mark(10))
+	s.Push(1, mark(11))
+	s.Push(1, mark(12))
+	// Delivery 1: newest link (1). Delivery 2: fairness, oldest link (0).
+	first, _ := s.Next()
+	second, _ := s.Next()
+	if first.To != 10 || second.To != 0 {
+		t.Errorf("deliveries = %d, %d; want 10 then 0 (fairness on 2nd)", first.To, second.To)
+	}
+}
+
+func TestNewEngineByNameAndAliases(t *testing.T) {
+	for _, name := range ScheduleNames() {
+		eng, err := NewEngineByName(name, 3)
+		if err != nil {
+			t.Fatalf("NewEngineByName(%q): %v", name, err)
+		}
+		if eng.Name() == "" {
+			t.Errorf("engine for %q has empty name", name)
+		}
+	}
+	for alias, canonical := range map[string]string{
+		"fifo":          "sequential",
+		"random-order":  "random",
+		"bounded-delay": "adversarial",
+	} {
+		if _, err := NewEngineByName(alias, 0); err != nil {
+			t.Errorf("alias %q (for %s) rejected: %v", alias, canonical, err)
+		}
+	}
+	_, err := NewEngineByName("bogus", 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown schedule") {
+		t.Errorf("expected unknown-schedule error, got %v", err)
+	}
+	if _, err := NewSchedulerByName("bogus", 0); err == nil {
+		t.Error("NewSchedulerByName should reject unknown names")
+	}
+	if s, err := NewSchedulerByName("sequential", 0); err != nil || s.Name() == "" {
+		t.Errorf("NewSchedulerByName(sequential) = %v, %v", s, err)
+	}
+}
+
+// newEngines returns the scheduler-backed engines added by the event-loop
+// refactor, for the shared behavioural tests below.
+func newEngines() []Engine {
+	return []Engine{NewRoundRobinEngine(), NewAdversarialEngine(DefaultAdversarialBound)}
+}
+
+func TestNewEnginesTokenRing(t *testing.T) {
+	for _, eng := range newEngines() {
+		for _, n := range []int{1, 2, 3, 8, 64} {
+			res, err := eng.Run(Config{Mode: Unidirectional, RequireVerdict: true}, tokenNodes(n))
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", eng.Name(), n, err)
+			}
+			if res.Verdict != VerdictAccept || res.Stats.Messages != n || res.Stats.Bits != n {
+				t.Errorf("%s n=%d: verdict=%v messages=%d bits=%d",
+					eng.Name(), n, res.Verdict, res.Stats.Messages, res.Stats.Bits)
+			}
+		}
+	}
+}
+
+func TestNewEnginesBidirectionalBounce(t *testing.T) {
+	for _, eng := range newEngines() {
+		n := 7
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = &bounceNode{leader: i == LeaderIndex}
+		}
+		res, err := eng.Run(Config{Mode: Bidirectional, RequireVerdict: true}, nodes)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Verdict != VerdictAccept || res.Stats.Messages != 4 {
+			t.Errorf("%s: verdict=%v messages=%d", eng.Name(), res.Verdict, res.Stats.Messages)
+		}
+	}
+}
+
+func TestNewEnginesGuardsAndQuiescence(t *testing.T) {
+	for _, eng := range newEngines() {
+		flood := make([]Node, 5)
+		for i := range flood {
+			flood[i] = &floodOnceNode{}
+		}
+		res, err := eng.Run(Config{Initiators: AllProcessors}, flood)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res.Verdict != VerdictNone || res.Stats.Messages != 5 {
+			t.Errorf("%s: verdict=%v messages=%d", eng.Name(), res.Verdict, res.Stats.Messages)
+		}
+
+		loop := make([]Node, 4)
+		for i := range loop {
+			loop[i] = &loopForeverNode{leader: i == LeaderIndex}
+		}
+		if _, err := eng.Run(Config{MaxMessages: 50}, loop); !errors.Is(err, ErrMessageBudgetExceeded) {
+			t.Errorf("%s: err = %v, want ErrMessageBudgetExceeded", eng.Name(), err)
+		}
+		if _, err := eng.Run(Config{}, nil); !errors.Is(err, ErrNoProcessors) {
+			t.Errorf("%s: err = %v, want ErrNoProcessors", eng.Name(), err)
+		}
+		bad := []Node{&illegalBackwardNode{leader: true}, &illegalBackwardNode{}}
+		if _, err := eng.Run(Config{Mode: Unidirectional}, bad); !errors.Is(err, ErrBackwardInUnidirectional) {
+			t.Errorf("%s: err = %v, want ErrBackwardInUnidirectional", eng.Name(), err)
+		}
+	}
+}
+
+func TestNewEnginesMatchSequentialAccounting(t *testing.T) {
+	for _, n := range []int{3, 9, 21} {
+		build := func() []Node {
+			nodes := make([]Node, n)
+			for i := range nodes {
+				nodes[i] = &incrementNode{leader: i == LeaderIndex, want: uint64(n)}
+			}
+			return nodes
+		}
+		seq, err := NewSequentialEngine().Run(Config{RequireVerdict: true}, build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range newEngines() {
+			res, err := eng.Run(Config{RequireVerdict: true}, build())
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", eng.Name(), n, err)
+			}
+			if res.Stats.Bits != seq.Stats.Bits || res.Verdict != seq.Verdict {
+				t.Errorf("%s n=%d: accounting mismatch (bits %d vs %d)",
+					eng.Name(), n, res.Stats.Bits, seq.Stats.Bits)
+			}
+		}
+	}
+}
+
+func TestScheduledEngineIsReusableAcrossRuns(t *testing.T) {
+	eng := NewAdversarialEngine(3)
+	for run := 0; run < 3; run++ {
+		res, err := eng.Run(Config{RequireVerdict: true}, tokenNodes(10))
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if res.Stats.Messages != 10 {
+			t.Errorf("run %d: messages = %d, want 10 (state leaked between runs?)", run, res.Stats.Messages)
+		}
+	}
+}
+
+func TestTraceRecordingOnScheduledEngines(t *testing.T) {
+	for _, eng := range newEngines() {
+		res, err := eng.Run(Config{RecordTrace: true, RequireVerdict: true}, tokenNodes(4))
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("%s: expected a non-empty trace", eng.Name())
+		}
+		for i, ev := range res.Trace {
+			if ev.Seq != i {
+				t.Errorf("%s: trace seq %d at index %d", eng.Name(), ev.Seq, i)
+			}
+		}
+		if res.Trace[len(res.Trace)-1].Kind != EventVerdict {
+			t.Errorf("%s: last trace event should be the verdict", eng.Name())
+		}
+
+		off, err := eng.Run(Config{RequireVerdict: true}, tokenNodes(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Trace != nil {
+			t.Errorf("%s: trace should be nil when recording is off", eng.Name())
+		}
+	}
+}

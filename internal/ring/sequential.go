@@ -1,15 +1,9 @@
 package ring
 
-import (
-	"fmt"
-
-	"ringlang/internal/bits"
-)
-
-// SequentialEngine is a deterministic, single-goroutine event simulator.
-// Messages are delivered in FIFO order, which is a legal asynchronous
-// schedule; for the paper's unidirectional leader-initiated algorithms it is
-// exactly the unique execution described in Section 2.
+// SequentialEngine is the deterministic, single-goroutine engine: the shared
+// event loop under a global-FIFO scheduler. FIFO delivery is a legal
+// asynchronous schedule; for the paper's unidirectional leader-initiated
+// algorithms it is exactly the unique execution described in Section 2.
 type SequentialEngine struct{}
 
 var _ Engine = (*SequentialEngine)(nil)
@@ -22,114 +16,7 @@ func NewSequentialEngine() *SequentialEngine {
 // Name implements Engine.
 func (e *SequentialEngine) Name() string { return "sequential" }
 
-// pendingDelivery is an internal queue entry of the sequential engine.
-type pendingDelivery struct {
-	to      int
-	from    Direction
-	payload bits.String
-}
-
 // Run implements Engine.
 func (e *SequentialEngine) Run(cfg Config, nodes []Node) (*Result, error) {
-	cfg, err := cfg.normalize(len(nodes))
-	if err != nil {
-		return nil, err
-	}
-	n := len(nodes)
-	stats := newStats(n)
-	var trace Trace
-	seq := 0
-	addEvent := func(ev Event) {
-		if !cfg.RecordTrace {
-			return
-		}
-		ev.Seq = seq
-		trace = append(trace, ev)
-	}
-
-	verdict := VerdictNone
-	contexts := make([]*Context, n)
-	for i := range contexts {
-		idx := i
-		contexts[i] = &Context{
-			isLeader: idx == LeaderIndex,
-			decide: func(v Verdict) error {
-				if verdict != VerdictNone {
-					return ErrAlreadyDecided
-				}
-				verdict = v
-				addEvent(Event{Kind: EventVerdict, Processor: idx, Verdict: v})
-				seq++
-				return nil
-			},
-		}
-	}
-
-	var queue []pendingDelivery
-	dispatch := func(fromProc int, sends []Send) error {
-		for _, s := range sends {
-			if err := validateSend(cfg, s); err != nil {
-				return fmt.Errorf("processor %d: %w", fromProc, err)
-			}
-			to := neighbour(fromProc, s.Dir, n)
-			stats.record(fromProc, to, s.Payload)
-			addEvent(Event{Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
-			seq++
-			queue = append(queue, pendingDelivery{
-				to:      to,
-				from:    arrivalDirection(s.Dir),
-				payload: s.Payload,
-			})
-		}
-		return nil
-	}
-
-	// Start phase.
-	for i := 0; i < n; i++ {
-		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
-			continue
-		}
-		addEvent(Event{Kind: EventStart, Processor: i})
-		seq++
-		sends, err := nodes[i].Start(contexts[i])
-		if err != nil {
-			return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
-		}
-		if err := dispatch(i, sends); err != nil {
-			return nil, err
-		}
-		if verdict != VerdictNone {
-			break
-		}
-	}
-
-	// Delivery loop.
-	delivered := 0
-	for len(queue) > 0 && verdict == VerdictNone {
-		if delivered >= cfg.MaxMessages {
-			return nil, fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, delivered)
-		}
-		d := queue[0]
-		queue = queue[1:]
-		delivered++
-		addEvent(Event{Kind: EventReceive, Processor: d.to, Dir: d.from, Payload: d.payload})
-		seq++
-		sends, err := nodes[d.to].Receive(contexts[d.to], d.from, d.payload)
-		if err != nil {
-			return nil, fmt.Errorf("ring: receive at processor %d: %w", d.to, err)
-		}
-		if verdict != VerdictNone {
-			// The leader decided while processing this delivery; the paper's
-			// model terminates the algorithm at that point.
-			break
-		}
-		if err := dispatch(d.to, sends); err != nil {
-			return nil, err
-		}
-	}
-
-	if cfg.RequireVerdict && verdict == VerdictNone {
-		return nil, ErrNoVerdict
-	}
-	return &Result{Verdict: verdict, Stats: stats, Trace: trace}, nil
+	return runLoop(cfg, nodes, &fifoScheduler{})
 }

@@ -64,19 +64,40 @@ type Report struct {
 	Member  bool
 	// Messages and Bits are the execution totals; BitsPerProcessor is
 	// Bits / n, the quantity whose asymptotics the paper classifies.
-	Messages          int
-	Bits              int
-	BitsPerProcessor  float64
-	MaxMessageBits    int
-	ProcessorCount    int
+	Messages         int
+	Bits             int
+	BitsPerProcessor float64
+	MaxMessageBits   int
+	ProcessorCount   int
+	// Schedule is the delivery schedule the run executed under.
+	Schedule          string
 	UsedConcurrentRun bool
 }
 
 // Options configures Recognize.
 type Options struct {
 	// Concurrent runs the goroutine-per-processor engine instead of the
-	// deterministic sequential one.
+	// deterministic sequential one. Shorthand for Schedule == "concurrent".
 	Concurrent bool
+	// Schedule selects the delivery schedule by name — one of
+	// ScheduleNames(): "sequential", "random", "round-robin", "adversarial",
+	// "concurrent". Empty means sequential (or concurrent when Concurrent is
+	// set). The paper's bounds hold under every schedule; sweeping this knob
+	// is how that is checked.
+	Schedule string
+	// Seed drives randomized schedules (Schedule == "random").
+	Seed int64
+}
+
+// schedule resolves the effective schedule name.
+func (o Options) schedule() string {
+	if o.Schedule != "" {
+		return o.Schedule
+	}
+	if o.Concurrent {
+		return "concurrent"
+	}
+	return "sequential"
 }
 
 // Recognize builds the named algorithm (see AlgorithmNames) and runs it on
@@ -93,11 +114,8 @@ func Recognize(algorithm, language string, word Word, opts Options) (*Report, er
 
 // RecognizeWith runs an already constructed recognizer.
 func RecognizeWith(rec Recognizer, word Word, opts Options) (*Report, error) {
-	runOpts := core.RunOptions{}
-	if opts.Concurrent {
-		runOpts.Engine = ring.NewConcurrentEngine()
-	}
-	res, err := core.Run(rec, word, runOpts)
+	schedule := opts.schedule()
+	res, err := core.Run(rec, word, core.RunOptions{Schedule: schedule, Seed: opts.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
 	}
@@ -111,7 +129,8 @@ func RecognizeWith(rec Recognizer, word Word, opts Options) (*Report, error) {
 		BitsPerProcessor:  res.Stats.BitsPerProcessor(),
 		MaxMessageBits:    res.Stats.MaxMessageBits,
 		ProcessorCount:    res.Stats.Processors,
-		UsedConcurrentRun: opts.Concurrent,
+		Schedule:          schedule,
+		UsedConcurrentRun: schedule == "concurrent",
 	}, nil
 }
 
@@ -124,4 +143,9 @@ func AlgorithmNames() []string {
 // algorithms that take one.
 func LanguageNames() []string {
 	return lang.CatalogNames()
+}
+
+// ScheduleNames lists the delivery schedules accepted by Options.Schedule.
+func ScheduleNames() []string {
+	return ring.ScheduleNames()
 }

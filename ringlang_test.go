@@ -49,6 +49,38 @@ func TestRecognizeConcurrentOption(t *testing.T) {
 	}
 }
 
+func TestRecognizeScheduleOption(t *testing.T) {
+	word := WordFromString("000111222")
+	base, err := Recognize("three-counters", "", word, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Schedule != "sequential" {
+		t.Errorf("default schedule = %q, want sequential", base.Schedule)
+	}
+	for _, schedule := range ScheduleNames() {
+		report, err := Recognize("three-counters", "", word, Options{Schedule: schedule, Seed: 5})
+		if err != nil {
+			t.Fatalf("schedule %q: %v", schedule, err)
+		}
+		if report.Schedule != schedule {
+			t.Errorf("report schedule = %q, want %q", report.Schedule, schedule)
+		}
+		if report.Bits != base.Bits || report.Verdict != base.Verdict {
+			t.Errorf("schedule %q disagrees with sequential: %+v vs %+v", schedule, report, base)
+		}
+		if report.UsedConcurrentRun != (schedule == "concurrent") {
+			t.Errorf("schedule %q: UsedConcurrentRun = %v", schedule, report.UsedConcurrentRun)
+		}
+	}
+	if _, err := Recognize("three-counters", "", word, Options{Schedule: "bogus"}); err == nil {
+		t.Error("expected error for unknown schedule")
+	}
+	if len(ScheduleNames()) < 5 {
+		t.Error("ScheduleNames too short")
+	}
+}
+
 func TestRecognizeErrors(t *testing.T) {
 	if _, err := Recognize("bogus", "", WordFromString("ab"), Options{}); err == nil {
 		t.Error("expected error for unknown algorithm")
