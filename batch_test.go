@@ -1,0 +1,55 @@
+package ringlang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRecognizeBatchMatchesRecognize pins the facade-level batch contract:
+// RecognizeBatch returns, in order, exactly the reports per-word Recognize
+// calls produce — for every schedule and worker count.
+func TestRecognizeBatchMatchesRecognize(t *testing.T) {
+	words := []Word{
+		WordFromString("001122"),
+		WordFromString("010212"),
+		WordFromString("000111222"),
+		WordFromString("012"),
+		WordFromString("001122001122"),
+	}
+	for _, schedule := range []string{"", "round-robin", "random", "concurrent"} {
+		opts := Options{Schedule: schedule, Seed: 9}
+		want := make([]*Report, len(words))
+		for i, w := range words {
+			r, err := Recognize("three-counters", "", w, opts)
+			if err != nil {
+				t.Fatalf("schedule %q word %q: %v", schedule, w.String(), err)
+			}
+			want[i] = r
+		}
+		for _, workers := range []int{0, 1, 3} {
+			opts.Workers = workers
+			got, err := RecognizeBatch("three-counters", "", words, opts)
+			if err != nil {
+				t.Fatalf("schedule %q workers=%d: %v", schedule, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("schedule %q workers=%d: batch reports differ from serial Recognize", schedule, workers)
+			}
+		}
+	}
+}
+
+func TestRecognizeBatchErrors(t *testing.T) {
+	if _, err := RecognizeBatch("no-such-algorithm", "", []Word{WordFromString("01")}, Options{}); err == nil {
+		t.Error("unknown algorithm did not error")
+	}
+	words := []Word{WordFromString("001122"), nil}
+	_, err := RecognizeBatch("three-counters", "", words, Options{})
+	if err == nil || !strings.Contains(err.Error(), "word 1") {
+		t.Errorf("batch error does not name the failing word: %v", err)
+	}
+	if got, err := RecognizeBatch("three-counters", "", nil, Options{}); err != nil || len(got) != 0 {
+		t.Errorf("empty batch = %v, %v", got, err)
+	}
+}

@@ -7,7 +7,12 @@
 //	ringbench -e E3,E7      # run selected experiments
 //	ringbench -e E13        # the full-factorial schedule sweep
 //	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
+//	ringbench -workers 0 -e E13             # fan sweep cells over all CPUs
 //	ringbench -list         # list experiment identifiers
+//
+// -workers selects how many goroutines the sweeps fan their (size × schedule)
+// cells across: 1 (the default) runs serially, 0 uses one worker per CPU, any
+// other value that many workers. Results are bit-identical at every setting.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run(args []string) error {
 		plot       = fs.Bool("plot", false, "render the headline log-log scaling figure and exit")
 		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
 		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
+		workers    = fs.Int("workers", 1, "worker goroutines for sweep fan-out (1 = serial, 0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +53,10 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+	bench.SetDefaultWorkers(*workers)
 	suite := bench.SuiteFull
 	if *quick {
 		suite = bench.SuiteQuick

@@ -8,15 +8,23 @@
 //	ringrun -algorithm compare-wcw -word abcab -engine concurrent -trace
 //	ringrun -algorithm three-counters -word 001122 -schedule adversarial
 //	ringrun -algorithm three-counters -word 001122 -schedule random -seed 7
+//	ringrun -algorithm three-counters -words 001122,012012,001212 -workers 0
 //	ringrun -list
+//
+// -words runs a whole batch (comma-separated) through the worker pool of
+// internal/exec and prints one accounting line per word; -workers sets the
+// pool size (0 = one worker per CPU, the default). Batch runs cannot record
+// traces.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ringlang/internal/core"
+	"ringlang/internal/exec"
 	"ringlang/internal/lang"
 	"ringlang/internal/ring"
 	"ringlang/internal/trace"
@@ -40,6 +48,8 @@ func run(args []string, out *os.File) error {
 		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
 		withTrace  = fs.Bool("trace", false, "print per-execution analysis (passes, token property, information states)")
 		list       = fs.Bool("list", false, "list algorithm, language and schedule names and exit")
+		words      = fs.String("words", "", "comma-separated words to run as a parallel batch (instead of -word)")
+		workers    = fs.Int("workers", 0, "worker goroutines for -words batches (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,8 +69,11 @@ func run(args []string, out *os.File) error {
 		}
 		return nil
 	}
-	if *algorithm == "" || *word == "" {
-		return fmt.Errorf("both -algorithm and -word are required (try -list)")
+	if *algorithm == "" || (*word == "" && *words == "") {
+		return fmt.Errorf("-algorithm plus -word or -words are required (try -list)")
+	}
+	if *word != "" && *words != "" {
+		return fmt.Errorf("-word and -words are mutually exclusive")
 	}
 	rec, err := core.NewRecognizerByName(*algorithm, *language)
 	if err != nil {
@@ -76,6 +89,12 @@ func run(args []string, out *os.File) error {
 	engine, err := ring.NewEngineByName(name, *seed)
 	if err != nil {
 		return err
+	}
+	if *words != "" {
+		if *withTrace {
+			return fmt.Errorf("-trace is not available for -words batches")
+		}
+		return runBatch(out, rec, engine, strings.Split(*words, ","), *workers)
 	}
 	w := lang.WordFromString(*word)
 	res, err := core.Run(rec, w, core.RunOptions{Engine: engine, RecordTrace: *withTrace})
@@ -102,6 +121,34 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+// runBatch fans the words over the exec worker pool and prints one
+// accounting line per word, in input order.
+func runBatch(out *os.File, rec core.Recognizer, engine ring.Engine, raw []string, workers int) error {
+	jobs := make([]exec.Job, len(raw))
+	for i, s := range raw {
+		jobs[i] = exec.Job{Rec: rec, Word: lang.WordFromString(strings.TrimSpace(s)), Engine: engine}
+	}
+	fmt.Fprintf(out, "algorithm : %s\n", rec.Name())
+	fmt.Fprintf(out, "language  : %s\n", rec.Language().Name())
+	fmt.Fprintf(out, "schedule  : %s\n", engine.Name())
+	fmt.Fprintf(out, "%-20s %-8s %-8s %10s %10s %8s\n", "word", "verdict", "member", "messages", "bits", "bits/n")
+	var firstErr error
+	for i, r := range exec.RunBatch(jobs, exec.Options{Workers: workers}) {
+		w := jobs[i].Word
+		if r.Err != nil {
+			fmt.Fprintf(out, "%-20q %v\n", w.String(), r.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("word %d (%q): %w", i, w.String(), r.Err)
+			}
+			continue
+		}
+		fmt.Fprintf(out, "%-20q %-8s %-8v %10d %10d %8.2f\n",
+			w.String(), r.Verdict, rec.Language().Contains(w),
+			r.Stats.Messages, r.Stats.Bits, r.Stats.BitsPerProcessor())
+	}
+	return firstErr
 }
 
 func traceInputs(w lang.Word) []string {

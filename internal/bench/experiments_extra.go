@@ -79,10 +79,10 @@ func ExperimentE8(sizes []int) (*Table, error) {
 			return nil, err
 		}
 		cut := 0
-		if ls, ok := simRes.Stats.PerLink[[2]int{0, simPt.N - 1}]; ok {
+		if ls, ok := simRes.Stats.PerLink()[[2]int{0, simPt.N - 1}]; ok {
 			cut += ls.Bits
 		}
-		if ls, ok := simRes.Stats.PerLink[[2]int{simPt.N - 1, 0}]; ok {
+		if ls, ok := simRes.Stats.PerLink()[[2]int{simPt.N - 1, 0}]; ok {
 			cut += ls.Bits
 		}
 		overhead := simPt.Bits - directPt.Bits

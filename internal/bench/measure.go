@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ringlang/internal/core"
+	"ringlang/internal/exec"
 	"ringlang/internal/lang"
 	"ringlang/internal/ring"
 )
@@ -39,22 +40,37 @@ type MeasureOptions struct {
 	// report the same bits, and experiments sweep it like sizes.
 	Schedule string
 	// Seed defaults to DefaultSeed. It seeds the word generators and any
-	// randomized schedule.
+	// randomized schedule. A zero Seed means "use the default"; to actually
+	// sweep with seed 0, set SeedSet.
 	Seed int64
+	// SeedSet makes an explicit zero Seed usable: when true, Seed is taken
+	// verbatim instead of being replaced by DefaultSeed.
+	SeedSet bool
 	// Window is how far above the requested size the generator may go when
 	// the language has no word of exactly that size (default 8).
 	Window int
+	// WindowSet makes an explicit zero Window (exact sizes only, no slack)
+	// usable: when true, Window is taken verbatim instead of defaulting to 8.
+	WindowSet bool
+	// Workers is the number of worker goroutines the sweep fans its sizes
+	// across. Zero means the package default (serial unless
+	// SetDefaultWorkers changed it); 1 forces serial. Any worker count
+	// produces results bit-identical to the serial sweep.
+	Workers int
 }
 
 func (o MeasureOptions) normalize() MeasureOptions {
 	if o.Kind == 0 {
 		o.Kind = MemberWords
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = DefaultSeed
 	}
-	if o.Window == 0 {
+	if o.Window == 0 && !o.WindowSet {
 		o.Window = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = defaultWorkers
 	}
 	return o
 }
@@ -91,6 +107,17 @@ func SetDefaultSchedule(name string, seed int64) error {
 	return nil
 }
 
+// defaultWorkers is the sweep parallelism used when MeasureOptions.Workers
+// is zero; 1 (or less) means serial. cmd/ringbench's -workers flag sets it.
+var defaultWorkers = 1
+
+// SetDefaultWorkers routes every sweep that does not set its own Workers
+// through a pool of n workers (n < 1 selects runtime.GOMAXPROCS). Like
+// SetDefaultSchedule it is a process-start knob, not a synchronized one.
+func SetDefaultWorkers(n int) {
+	defaultWorkers = n
+}
+
 // wordForSize produces the input word for one sweep point.
 func wordForSize(language lang.Language, n int, kind WordKind, window int, rng *rand.Rand) (lang.Word, error) {
 	switch kind {
@@ -113,17 +140,23 @@ func wordForSize(language lang.Language, n int, kind WordKind, window int, rng *
 }
 
 // MeasureRecognizer runs one recognizer across the ring sizes and returns one
-// Point per size. Verdicts are cross-checked against the language.
+// Point per size. Verdicts are cross-checked against the language. With
+// Workers above 1 the sizes are fanned across a batch-execution pool; the
+// points are bit-identical to the serial sweep in either case, because every
+// size's word generator and delivery schedule are seeded independently of
+// execution order.
 func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([]Point, error) {
 	opts = opts.normalize()
 	engine, err := opts.engine()
 	if err != nil {
 		return nil, err
 	}
+	if opts.Workers != 1 {
+		return measureParallel(rec, sizes, opts, engine)
+	}
 	points := make([]Point, 0, len(sizes))
 	for _, n := range sizes {
-		rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
-		word, err := wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
+		word, err := sweepWord(rec, n, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -141,6 +174,35 @@ func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([
 	return points, nil
 }
 
+// sweepWord generates the input word for size n of a sweep, with the
+// per-size seeding that keeps every sweep point independent of the others.
+func sweepWord(rec core.Recognizer, n int, opts MeasureOptions) (lang.Word, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+	return wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
+}
+
+// measureParallel is the pooled sweep behind MeasureRecognizer: words are
+// generated up front (cheap and sequential), the runs fan out.
+func measureParallel(rec core.Recognizer, sizes []int, opts MeasureOptions, engine ring.Engine) ([]Point, error) {
+	jobs := make([]exec.Job, len(sizes))
+	for i, n := range sizes {
+		word, err := sweepWord(rec, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = exec.Job{Rec: rec, Word: word, Engine: engine, Check: opts.Kind != RandomWords}
+	}
+	results := exec.RunBatch(jobs, exec.Options{Workers: opts.Workers})
+	points := make([]Point, len(sizes))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), sizes[i], r.Err)
+		}
+		points[i] = Point{N: len(jobs[i].Word), Bits: r.Stats.Bits, Messages: r.Stats.Messages}
+	}
+	return points, nil
+}
+
 // MeasureOne runs a recognizer on a single generated word and returns the
 // point, the engine result and the word itself (used by experiments that need
 // traces and per-processor inputs).
@@ -150,8 +212,7 @@ func MeasureOne(rec core.Recognizer, n int, opts MeasureOptions, recordTrace boo
 	if err != nil {
 		return Point{}, nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
-	word, err := wordForSize(rec.Language(), n, opts.Kind, opts.Window, rng)
+	word, err := sweepWord(rec, n, opts)
 	if err != nil {
 		return Point{}, nil, nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ringlang/internal/core"
+	"ringlang/internal/exec"
 	"ringlang/internal/ring"
 )
 
@@ -42,6 +43,11 @@ func ScheduleDimension() []ScheduleVariant {
 // its bounds for every legal asynchronous schedule, so all columns of a row
 // must agree — the table makes the schedule an enumerable experiment axis
 // instead of a hardcoded engine choice.
+//
+// The grid is embarrassingly parallel — every cell is an independent
+// execution on a word fixed per (algorithm, n) — so the cells fan out over a
+// batch-execution pool (bench's default worker count, see SetDefaultWorkers)
+// and the rows are assembled from the ordered results.
 func ExperimentE13(sizes []int) (*Table, error) {
 	t := &Table{
 		ID:         "E13",
@@ -60,30 +66,57 @@ func ExperimentE13(sizes []int) (*Table, error) {
 		core.NewBalancedCounter(),
 		core.NewCompareWcW(),
 	}
-	disagreements := 0
+
+	// One engine per variant, shared by every cell of its column: engines
+	// are safe for concurrent use, and a shared engine is what lets each
+	// pool worker reuse one run state per column instead of one per cell.
+	// The engine is built explicitly so v.Seed drives only the delivery
+	// order; the word generator keeps its default seed and every variant of
+	// a row runs the exact same word.
+	engines := make([]ring.Engine, len(variants))
+	for i, v := range variants {
+		engine, err := ring.NewEngineByName(v.Schedule, v.Seed)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = engine
+	}
+
+	// One job per (algorithm, n, schedule) cell, in row-major order.
+	wordOpts := MeasureOptions{}.normalize()
+	var jobs []exec.Job
 	for _, rec := range recs {
 		for _, n := range sizes {
+			word, err := sweepWord(rec, n, wordOpts)
+			if err != nil {
+				return nil, err
+			}
+			for i := range variants {
+				jobs = append(jobs, exec.Job{Rec: rec, Word: word, Engine: engines[i], Check: true})
+			}
+		}
+	}
+	results := exec.RunBatch(jobs, exec.Options{Workers: wordOpts.Workers})
+
+	disagreements := 0
+	cell := 0
+	for _, rec := range recs {
+		for range sizes {
 			row := []string{rec.Name(), ""}
 			first, agree := 0, true
 			for i, v := range variants {
-				// The engine is built explicitly so v.Seed drives only the
-				// delivery order; the word generator keeps its default seed
-				// and every variant runs the exact same word.
-				engine, err := ring.NewEngineByName(v.Schedule, v.Seed)
-				if err != nil {
-					return nil, err
+				r := results[cell]
+				if r.Err != nil {
+					return nil, fmt.Errorf("schedule %s: %w", v.Label(), r.Err)
 				}
-				pts, err := MeasureRecognizer(rec, []int{n}, MeasureOptions{Engine: engine})
-				if err != nil {
-					return nil, fmt.Errorf("schedule %s: %w", v.Label(), err)
-				}
-				row[1] = fmtInt(pts[0].N)
+				row[1] = fmtInt(len(jobs[cell].Word))
 				if i == 0 {
-					first = pts[0].Bits
-				} else if pts[0].Bits != first {
+					first = r.Stats.Bits
+				} else if r.Stats.Bits != first {
 					agree = false
 				}
-				row = append(row, fmtInt(pts[0].Bits))
+				row = append(row, fmtInt(r.Stats.Bits))
+				cell++
 			}
 			verdict := "yes"
 			if !agree {

@@ -21,7 +21,7 @@ func TestCountBackwardUsesTheCutLink(t *testing.T) {
 	n := len(word)
 	// The plain backward counter's first hop is leader → p_n over the link
 	// the line simulation will later cut.
-	if _, ok := res.Stats.PerLink[[2]int{ring.LeaderIndex, n - 1}]; !ok {
+	if _, ok := res.Stats.PerLink()[[2]int{ring.LeaderIndex, n - 1}]; !ok {
 		t.Error("count-backward should use the leader→p_n link directly")
 	}
 }
@@ -51,10 +51,10 @@ func TestLineSimulationEquivalenceAndCutLink(t *testing.T) {
 		// backward link share the same (from, to) pair, so the per-link check
 		// is only meaningful for n ≥ 3.
 		if n >= 3 {
-			if _, used := simulated.Stats.PerLink[[2]int{ring.LeaderIndex, n - 1}]; used {
+			if _, used := simulated.Stats.PerLink()[[2]int{ring.LeaderIndex, n - 1}]; used {
 				t.Errorf("n=%d: line simulation used the cut link leader→p_n", n)
 			}
-			if _, used := simulated.Stats.PerLink[[2]int{n - 1, ring.LeaderIndex}]; used {
+			if _, used := simulated.Stats.PerLink()[[2]int{n - 1, ring.LeaderIndex}]; used {
 				t.Errorf("n=%d: line simulation used the cut link p_n→leader", n)
 			}
 		}

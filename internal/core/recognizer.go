@@ -40,6 +40,12 @@ type RunOptions struct {
 	Seed int64
 	// RecordTrace enables trace recording for information-state analyses.
 	RecordTrace bool
+	// State, when non-nil, lets engines that support it (ring.StatefulEngine)
+	// reuse the per-run allocations — stats, contexts, scheduler queues —
+	// across runs. The returned Result then aliases State and is valid only
+	// until State's next run; snapshot Stats with Clone to retain it. Engines
+	// without state support (the concurrent engine) ignore it.
+	State *ring.RunState
 }
 
 // engine resolves the options to a concrete engine.
@@ -79,7 +85,12 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 		RecordTrace:    opts.RecordTrace,
 		RequireVerdict: true,
 	}
-	res, err := engine.Run(cfg, nodes)
+	var res *ring.Result
+	if se, ok := engine.(ring.StatefulEngine); ok && opts.State != nil {
+		res, err = se.RunWith(opts.State, cfg, nodes)
+	} else {
+		res, err = engine.Run(cfg, nodes)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: run %s on %d letters: %w", rec.Name(), len(word), err)
 	}

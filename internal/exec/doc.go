@@ -1,0 +1,18 @@
+// Package exec is the batch-execution subsystem: a worker pool that fans
+// (recognizer × word × schedule) jobs across GOMAXPROCS goroutines.
+//
+// The Mansour–Zaks bounds are per-execution, so executions are
+// embarrassingly parallel across words, sizes and schedules. What makes the
+// pool more than a bare errgroup is state reuse: each worker owns one
+// ring.RunState per engine it runs — the stats accounting with its dense
+// per-link array, the processor contexts and the scheduler's deque backing
+// arrays — so a worker's steady-state run allocates only what the algorithm
+// itself sends plus one snapshot of the results. Batch results are
+// bit-for-bit identical to serial core.Run/core.Check calls under every
+// built-in schedule; internal/exec's property tests enforce this.
+//
+// Entry points: NewPool/Pool.RunBatch for a long-lived pool, RunBatch for
+// one-shot batches. The facade (ringlang.RecognizeBatch), the bench sweeps
+// (bench.MeasureOptions.Workers) and the cmd tools' -workers flags all go
+// through here.
+package exec

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// statsEqual compares the externally observable accounting of two runs.
+func statsEqual(a, b *ring.Stats) bool {
+	if a.Processors != b.Processors || a.Messages != b.Messages ||
+		a.Bits != b.Bits || a.MaxMessageBits != b.MaxMessageBits {
+		return false
+	}
+	return reflect.DeepEqual(flattenPerLink(a), flattenPerLink(b))
+}
+
+func flattenPerLink(s *ring.Stats) map[[2]int]ring.LinkStats {
+	out := make(map[[2]int]ring.LinkStats)
+	for k, v := range s.PerLink() {
+		out[k] = *v
+	}
+	return out
+}
+
+// TestPropertyBatchMatchesSerial is the batch-equivalence property: RunBatch
+// results must be bit-for-bit identical to serial core.Check across
+// algorithms, schedules and worker counts. Run it with -race to cover the
+// pool and the concurrent engine.
+func TestPropertyBatchMatchesSerial(t *testing.T) {
+	recs := []core.Recognizer{
+		core.NewThreeCounters(),
+		core.NewBalancedCounter(),
+		core.NewCompareWcW(),
+	}
+	schedules := []struct {
+		name string
+		seed int64
+	}{
+		{"", 0},
+		{"sequential", 0},
+		{"random", 3},
+		{"random", 11},
+		{"round-robin", 0},
+		{"adversarial", 0},
+		{"concurrent", 0},
+	}
+	sizes := []int{3, 9, 21}
+
+	// Build the job grid and the serial baseline.
+	var jobs []Job
+	var want []Result
+	rng := rand.New(rand.NewSource(42))
+	for _, rec := range recs {
+		for _, n := range sizes {
+			member, _, err := lang.MemberOrSkip(rec.Language(), n, 8, rng)
+			if err != nil {
+				t.Fatalf("%s: no member near %d: %v", rec.Name(), n, err)
+			}
+			words := []lang.Word{member}
+			if nonMember, ok := rec.Language().GenerateNonMember(n, rng); ok {
+				words = append(words, nonMember)
+			}
+			for _, word := range words {
+				for _, s := range schedules {
+					res, err := core.Check(rec, word, core.RunOptions{Schedule: s.name, Seed: s.seed})
+					if err != nil {
+						t.Fatalf("serial %s n=%d schedule=%q: %v", rec.Name(), n, s.name, err)
+					}
+					jobs = append(jobs, Job{Rec: rec, Word: word, Schedule: s.name, Seed: s.seed, Check: true})
+					want = append(want, Result{Verdict: res.Verdict, Stats: res.Stats.Clone()})
+				}
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 7} {
+		pool := NewPool(workers)
+		// Two batches per pool: the second exercises fully warmed state.
+		for round := 0; round < 2; round++ {
+			got := pool.RunBatch(jobs)
+			if len(got) != len(jobs) {
+				t.Fatalf("workers=%d: %d results for %d jobs", workers, len(got), len(jobs))
+			}
+			for i, g := range got {
+				if g.Err != nil {
+					t.Fatalf("workers=%d round=%d job %d (%s %q %q): %v",
+						workers, round, i, jobs[i].Rec.Name(), jobs[i].Word.String(), jobs[i].Schedule, g.Err)
+				}
+				if g.Verdict != want[i].Verdict {
+					t.Errorf("workers=%d job %d: verdict %v, serial %v", workers, i, g.Verdict, want[i].Verdict)
+				}
+				if !statsEqual(g.Stats, want[i].Stats) {
+					t.Errorf("workers=%d job %d (%s %q %q): batch stats %+v != serial %+v",
+						workers, i, jobs[i].Rec.Name(), jobs[i].Word.String(), jobs[i].Schedule,
+						*g.Stats, *want[i].Stats)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestRunBatchResultsAreIndependent pins the snapshot semantics: results of
+// one batch must not share per-link state with each other or with later
+// batches run on the same (reused) worker state.
+func TestRunBatchResultsAreIndependent(t *testing.T) {
+	rec := core.NewThreeCounters()
+	w1 := lang.WordFromString("012")
+	w2 := lang.WordFromString("001122")
+	pool := NewPool(1)
+	defer pool.Close()
+
+	first := pool.RunBatch([]Job{{Rec: rec, Word: w1, Check: true}, {Rec: rec, Word: w2, Check: true}})
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	snapshot := flattenPerLink(first[0].Stats)
+	// A second batch on the same worker reuses and resets the state; the
+	// already-returned results must not change.
+	pool.RunBatch([]Job{{Rec: rec, Word: w2, Check: true}})
+	if !reflect.DeepEqual(snapshot, flattenPerLink(first[0].Stats)) {
+		t.Fatal("a later batch mutated an earlier result's stats")
+	}
+	if first[0].Stats.Bits == first[1].Stats.Bits {
+		t.Fatal("distinct words produced identical bit totals; snapshotting is suspect")
+	}
+}
+
+// TestRunBatchErrors checks that bad jobs fail in place without failing the
+// batch.
+func TestRunBatchErrors(t *testing.T) {
+	rec := core.NewThreeCounters()
+	results := RunBatch([]Job{
+		{Rec: rec, Word: lang.WordFromString("012"), Check: true},
+		{Rec: rec, Word: lang.WordFromString("012"), Schedule: "no-such-schedule"},
+		{Word: lang.WordFromString("012")},
+		{Rec: rec, Word: nil},
+	}, Options{Workers: 2})
+	if results[0].Err != nil {
+		t.Errorf("good job failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unknown schedule did not error")
+	}
+	if results[2].Err == nil {
+		t.Error("job without recognizer did not error")
+	}
+	if !errors.Is(results[3].Err, core.ErrEmptyWord) {
+		t.Errorf("empty word error = %v, want core.ErrEmptyWord", results[3].Err)
+	}
+}
+
+// TestRunBatchEmpty covers the degenerate batch.
+func TestRunBatchEmpty(t *testing.T) {
+	if got := RunBatch(nil, Options{}); len(got) != 0 {
+		t.Fatalf("RunBatch(nil) = %v", got)
+	}
+}

@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// Job is one execution of a recognizer on a word under a delivery schedule.
+type Job struct {
+	// Rec is the recognizer to run. Required.
+	Rec core.Recognizer
+	// Word labels the ring, one letter per processor, leader first. Required.
+	Word lang.Word
+	// Engine pins the engine. When nil, Schedule/Seed name a built-in one
+	// (see ring.ScheduleNames); an empty Schedule means sequential. A pinned
+	// engine may be shared by many jobs — engines are safe for concurrent
+	// use — and still benefits from per-worker state reuse when it
+	// implements ring.StatefulEngine.
+	Engine ring.Engine
+	// Schedule names the delivery schedule when Engine is nil.
+	Schedule string
+	// Seed drives randomized schedules (Schedule == "random").
+	Seed int64
+	// Check cross-checks the verdict against the language's own membership
+	// predicate (core.Check); otherwise the run is core.Run.
+	Check bool
+}
+
+// Result is the outcome of one Job. Stats is an independent snapshot: it
+// never aliases worker state and stays valid after the pool moves on.
+type Result struct {
+	Verdict ring.Verdict
+	Stats   *ring.Stats
+	Err     error
+}
+
+// Options configures package-level RunBatch calls.
+type Options struct {
+	// Workers is the number of worker goroutines; values < 1 mean
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// task is one queued job plus where its result goes.
+type task struct {
+	job  Job
+	out  []Result
+	idx  int
+	done *sync.WaitGroup
+}
+
+// Pool is a set of persistent worker goroutines, each owning reusable run
+// state. A Pool may serve many RunBatch calls (also concurrently); Close
+// releases the workers.
+type Pool struct {
+	workers int
+	tasks   chan task
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool. workers < 1 means runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan task)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			w := newWorker()
+			for t := range p.tasks {
+				t.out[t.idx] = w.run(t.job)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the workers down. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// RunBatch executes every job and returns one Result per job, in job order.
+// Job errors land in the corresponding Result; RunBatch itself never fails.
+func (p *Pool) RunBatch(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	var done sync.WaitGroup
+	done.Add(len(jobs))
+	for i := range jobs {
+		p.tasks <- task{job: jobs[i], out: out, idx: i, done: &done}
+	}
+	done.Wait()
+	return out
+}
+
+// RunBatch executes the jobs on a transient pool.
+func RunBatch(jobs []Job, opts Options) []Result {
+	p := NewPool(opts.Workers)
+	defer p.Close()
+	return p.RunBatch(jobs)
+}
+
+// engineKey identifies a by-name engine in a worker's cache.
+type engineKey struct {
+	schedule string
+	seed     int64
+}
+
+// worker is the reusable state one pool goroutine owns: resolved engines and
+// one ring.RunState per engine, so repeated jobs under the same schedule
+// reuse stats, contexts and scheduler queues run after run.
+type worker struct {
+	named  map[engineKey]ring.Engine
+	states map[ring.Engine]*ring.RunState
+}
+
+func newWorker() *worker {
+	return &worker{
+		named:  make(map[engineKey]ring.Engine),
+		states: make(map[ring.Engine]*ring.RunState),
+	}
+}
+
+// engine resolves a job to an engine, caching by-name resolutions.
+func (w *worker) engine(job Job) (ring.Engine, error) {
+	if job.Engine != nil {
+		return job.Engine, nil
+	}
+	name := job.Schedule
+	if name == "" {
+		name = "sequential"
+	}
+	key := engineKey{schedule: name, seed: job.Seed}
+	if e, ok := w.named[key]; ok {
+		return e, nil
+	}
+	e, err := ring.NewEngineByName(name, job.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w.named[key] = e
+	return e, nil
+}
+
+// run executes one job with this worker's reusable state.
+func (w *worker) run(job Job) Result {
+	if job.Rec == nil {
+		return Result{Err: fmt.Errorf("exec: job has no recognizer")}
+	}
+	engine, err := w.engine(job)
+	if err != nil {
+		return Result{Err: err}
+	}
+	st := w.states[engine]
+	if st == nil {
+		st = ring.NewRunState()
+		w.states[engine] = st
+	}
+	opts := core.RunOptions{Engine: engine, State: st}
+	var res *ring.Result
+	if job.Check {
+		res, err = core.Check(job.Rec, job.Word, opts)
+	} else {
+		res, err = core.Run(job.Rec, job.Word, opts)
+	}
+	if err != nil {
+		return Result{Err: err}
+	}
+	// Snapshot: res.Stats aliases st and the next run on this worker resets
+	// it.
+	return Result{Verdict: res.Verdict, Stats: res.Stats.Clone()}
+}

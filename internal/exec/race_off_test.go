@@ -1,0 +1,8 @@
+//go:build !race
+
+package exec
+
+// raceEnabled reports whether the race detector is compiled in; the timing
+// test skips under -race, where the instrumentation overhead (not the pool)
+// dominates the ratio.
+const raceEnabled = false

@@ -53,6 +53,8 @@ type concState struct {
 	runErr   error
 }
 
+var _ verdictSink = (*concState)(nil)
+
 // finish records the terminal error (possibly nil) exactly once and releases
 // every goroutine.
 func (st *concState) finish(err error) {
@@ -62,11 +64,13 @@ func (st *concState) finish(err error) {
 	})
 }
 
-// record accounts a send under the state lock.
-func (st *concState) record(fromProc, toProc int, dir Direction, payload bits.String) {
+// record accounts a send under the state lock. dir is the direction the
+// message travels (for the trace); arrival is how the receiver perceives it
+// (for the per-link accounting).
+func (st *concState) record(fromProc, toProc int, dir, arrival Direction, payload bits.String) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.stats.record(fromProc, toProc, payload)
+	st.stats.record(fromProc, toProc, arrival, payload)
 	if st.cfg.RecordTrace {
 		st.trace = append(st.trace, Event{Seq: st.seq, Kind: EventSend, Processor: fromProc, Dir: dir, Payload: payload})
 		st.seq++
@@ -124,6 +128,13 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 
 	// Per-processor inboxes and per-directed-link pumps providing unbounded
 	// FIFO buffering so no send can ever deadlock the system.
+	//
+	// Shutdown is two-phase: `stop` releases the processor goroutines, and
+	// only after all of them have returned does `pumpDone` release the pumps.
+	// A pump therefore outlives every processor that may be blocked handing
+	// it a message, which is what lets dispatch enqueue unconditionally (see
+	// below) without risking a send into a dead pump.
+	pumpDone := make(chan struct{})
 	inboxes := make([]chan concDelivery, n)
 	for i := range inboxes {
 		inboxes[i] = make(chan concDelivery)
@@ -133,11 +144,11 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 		dir  Direction
 	}
 	linkIn := make(map[linkKey]chan concDelivery, 2*n)
-	var wg sync.WaitGroup
+	var wgProcs, wgPumps sync.WaitGroup
 	startPump := func(src chan concDelivery, dst chan concDelivery) {
-		wg.Add(1)
+		wgPumps.Add(1)
 		go func() {
-			defer wg.Done()
+			defer wgPumps.Done()
 			var queue []concDelivery
 			for {
 				var out chan concDelivery
@@ -147,7 +158,7 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 					head = queue[0]
 				}
 				select {
-				case <-st.stop:
+				case <-pumpDone:
 					return
 				case d := <-src:
 					queue = append(queue, d)
@@ -169,32 +180,30 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 		}
 	}
 
-	// dispatch validates, accounts and enqueues the sends of processor i. It
-	// returns false if the run is stopping.
+	// dispatch validates, accounts and enqueues the sends of processor i.
+	// Mirroring runLoop's record-then-deliver semantics, the slice is handled
+	// atomically with respect to termination: every send of it is recorded
+	// and enqueued, even when a verdict lands mid-slice, so the stats never
+	// count a message that was not actually put on its link and never drop a
+	// suffix of a response. The enqueue cannot block indefinitely: pumps stay
+	// alive until every processor (including the dispatching one) has
+	// returned.
 	dispatch := func(fromProc int, sends []Send) error {
 		for _, s := range sends {
 			to, arrival, err := routeSend(cfg, fromProc, s, n)
 			if err != nil {
 				return err
 			}
-			st.record(fromProc, to, s.Dir, s.Payload)
+			st.record(fromProc, to, s.Dir, arrival, s.Payload)
 			st.outstanding.Add(1)
-			select {
-			case <-st.stop:
-				return nil
-			case linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrival, payload: s.Payload}:
-			}
+			linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrival, payload: s.Payload}
 		}
 		return nil
 	}
 
-	contexts := make([]*Context, n)
+	contexts := make([]Context, n)
 	for i := range contexts {
-		idx := i
-		contexts[i] = &Context{
-			isLeader: idx == LeaderIndex,
-			decide:   func(v Verdict) error { return st.decide(idx, v) },
-		}
+		contexts[i] = Context{isLeader: i == LeaderIndex, proc: i, sink: st}
 	}
 
 	// Start phase (serialized; a legal asynchronous prefix). Pumps are already
@@ -207,7 +216,7 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 			continue
 		}
 		st.recordEvent(Event{Kind: EventStart, Processor: i})
-		sends, err := nodes[i].Start(contexts[i])
+		sends, err := nodes[i].Start(&contexts[i])
 		if err != nil {
 			st.finish(fmt.Errorf("ring: start of processor %d: %w", i, err))
 			break
@@ -221,9 +230,9 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	// Processor goroutines.
 	for i := 0; i < n; i++ {
 		idx := i
-		wg.Add(1)
+		wgProcs.Add(1)
 		go func() {
-			defer wg.Done()
+			defer wgProcs.Done()
 			for {
 				select {
 				case <-st.stop:
@@ -234,7 +243,7 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 						return
 					}
 					st.recordEvent(Event{Kind: EventReceive, Processor: idx, Dir: d.from, Payload: d.payload})
-					sends, err := nodes[idx].Receive(contexts[idx], d.from, d.payload)
+					sends, err := nodes[idx].Receive(&contexts[idx], d.from, d.payload)
 					if err != nil {
 						st.finish(fmt.Errorf("ring: receive at processor %d: %w", idx, err))
 						return
@@ -265,7 +274,9 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	}
 
 	<-st.stop
-	wg.Wait()
+	wgProcs.Wait()
+	close(pumpDone)
+	wgPumps.Wait()
 
 	if st.runErr != nil {
 		return nil, st.runErr

@@ -1,0 +1,135 @@
+package ring
+
+import (
+	"testing"
+
+	"ringlang/internal/bits"
+)
+
+// decideThenSendNode is a leader that accepts inside Start and still returns
+// sends. runLoop's record-then-deliver semantics dispatch the whole slice
+// before terminating; the concurrent engine must account identically even
+// though its stop channel is already closed while the slice is dispatched.
+type decideThenSendNode struct {
+	leader bool
+}
+
+func (d *decideThenSendNode) Start(ctx *Context) ([]Send, error) {
+	if !d.leader {
+		return nil, nil
+	}
+	if err := ctx.Accept(); err != nil {
+		return nil, err
+	}
+	var w bits.Writer
+	w.WriteBool(true)
+	payload := w.String()
+	return []Send{SendForward(payload), SendForward(payload)}, nil
+}
+
+func (d *decideThenSendNode) Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error) {
+	return nil, nil
+}
+
+// TestConcurrentDispatchAccountsFullSliceOnVerdict is the regression test for
+// the dispatch accounting bug: the old dispatch checked the stop channel
+// between the record of a send and its enqueue, so a run stopped by a verdict
+// could count a send that was never put on its link and silently drop the
+// rest of the slice — nondeterministically, because select picks among ready
+// cases at random. Stats must match the shared event loop's on every run.
+func TestConcurrentDispatchAccountsFullSliceOnVerdict(t *testing.T) {
+	nodes := func() []Node {
+		return []Node{
+			&decideThenSendNode{leader: true},
+			&decideThenSendNode{},
+			&decideThenSendNode{},
+		}
+	}
+	cfg := Config{RequireVerdict: true}
+	want, err := NewSequentialEngine().Run(cfg, nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Messages != 2 || want.Stats.Bits != 2 {
+		t.Fatalf("sequential baseline = %d msgs / %d bits, want 2/2", want.Stats.Messages, want.Stats.Bits)
+	}
+	for i := 0; i < 100; i++ {
+		res, err := NewConcurrentEngine().Run(cfg, nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != VerdictAccept {
+			t.Fatalf("iteration %d: verdict %v", i, res.Verdict)
+		}
+		if res.Stats.Messages != want.Stats.Messages || res.Stats.Bits != want.Stats.Bits {
+			t.Fatalf("iteration %d: concurrent engine recorded %d msgs / %d bits, sequential %d/%d — dispatch dropped part of a send slice",
+				i, res.Stats.Messages, res.Stats.Bits, want.Stats.Messages, want.Stats.Bits)
+		}
+	}
+}
+
+// relayNode drives the mid-run variant of the same property: the leader's
+// token fans out into a three-send burst at p1, p2 answers the first burst
+// message back to the leader, and the leader's accept races with p1's
+// dispatch of the remaining burst. Whatever the interleaving, the burst must
+// be accounted atomically.
+type relayNode struct {
+	proc int
+	seen bool
+}
+
+func (r *relayNode) Start(ctx *Context) ([]Send, error) {
+	if r.proc != LeaderIndex {
+		return nil, nil
+	}
+	var w bits.Writer
+	w.WriteBool(true)
+	return []Send{SendForward(w.String())}, nil
+}
+
+func (r *relayNode) Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error) {
+	switch r.proc {
+	case LeaderIndex:
+		return nil, ctx.Accept()
+	case 1:
+		// Burst: three one-bit messages toward p2.
+		return []Send{SendForward(payload), SendForward(payload), SendForward(payload)}, nil
+	default:
+		// p2 answers only the first burst message, completing the ring back
+		// to the leader; later burst messages are absorbed.
+		if r.seen {
+			return nil, nil
+		}
+		r.seen = true
+		return []Send{SendForward(payload)}, nil
+	}
+}
+
+// TestConcurrentBurstAccountingIsDeterministic runs the relay ring many
+// times: the verdict lands while burst messages are still in flight, and
+// with atomic slice accounting the totals are the same on every run and
+// equal to the sequential engine's.
+func TestConcurrentBurstAccountingIsDeterministic(t *testing.T) {
+	nodes := func() []Node {
+		return []Node{&relayNode{proc: 0}, &relayNode{proc: 1}, &relayNode{proc: 2}}
+	}
+	cfg := Config{RequireVerdict: true}
+	want, err := NewSequentialEngine().Run(cfg, nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start token + burst of three + p2's single answer = 5 messages.
+	if want.Stats.Messages != 5 {
+		t.Fatalf("sequential baseline = %d msgs, want 5", want.Stats.Messages)
+	}
+	for i := 0; i < 200; i++ {
+		res, err := NewConcurrentEngine().Run(cfg, nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Messages != want.Stats.Messages || res.Stats.Bits != want.Stats.Bits {
+			t.Fatalf("iteration %d: concurrent engine recorded %d msgs / %d bits, sequential %d/%d",
+				i, res.Stats.Messages, res.Stats.Bits, want.Stats.Messages, want.Stats.Bits)
+		}
+	}
+}

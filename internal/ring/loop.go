@@ -2,42 +2,69 @@ package ring
 
 import "fmt"
 
+// loopState is the mutable per-run state of the shared event loop: verdict,
+// accounting, trace. It implements verdictSink, so processor contexts carry a
+// plain pointer to it instead of one closure per processor — a reused
+// loopState makes the loop allocation-free apart from the algorithm's own
+// sends.
+type loopState struct {
+	cfg     Config
+	stats   Stats
+	trace   Trace
+	seq     int
+	verdict Verdict
+}
+
+// reset prepares the state for a fresh run.
+func (lp *loopState) reset(cfg Config, n int) {
+	lp.cfg = cfg
+	lp.stats.reset(n)
+	lp.trace = nil
+	lp.seq = 0
+	lp.verdict = VerdictNone
+}
+
+// decide implements verdictSink for the single-goroutine loop.
+func (lp *loopState) decide(proc int, v Verdict) error {
+	if lp.verdict != VerdictNone {
+		return ErrAlreadyDecided
+	}
+	lp.verdict = v
+	if lp.cfg.RecordTrace {
+		lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventVerdict, Processor: proc, Verdict: v})
+		lp.seq++
+	}
+	return nil
+}
+
 // runLoop is the single event loop behind every scheduler-backed engine. It
 // owns everything the seed engines used to triplicate: processor contexts,
 // send validation and routing, stats accounting, trace recording, the start
 // phase, the message budget and termination. The scheduler decides nothing
 // but the delivery order.
 //
+// st may be nil (a transient state is used) or a caller-owned RunState whose
+// allocations are reused across runs; see RunState for the aliasing rules.
+//
 // Trace recording is gated at every site so a run with Config.RecordTrace
 // off never constructs an Event.
-func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
+func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, error) {
 	cfg, err := cfg.normalize(len(nodes))
 	if err != nil {
 		return nil, err
 	}
+	if st == nil {
+		st = &RunState{}
+	}
 	n := len(nodes)
-	stats := newStats(n)
-	var trace Trace
-	seq := 0
-
-	verdict := VerdictNone
-	contexts := make([]Context, n)
+	lp := &st.loop
+	lp.reset(cfg, n)
+	if cap(st.contexts) < n {
+		st.contexts = make([]Context, n)
+	}
+	contexts := st.contexts[:n]
 	for i := range contexts {
-		idx := i
-		contexts[i] = Context{
-			isLeader: idx == LeaderIndex,
-			decide: func(v Verdict) error {
-				if verdict != VerdictNone {
-					return ErrAlreadyDecided
-				}
-				verdict = v
-				if cfg.RecordTrace {
-					trace = append(trace, Event{Seq: seq, Kind: EventVerdict, Processor: idx, Verdict: v})
-					seq++
-				}
-				return nil
-			},
-		}
+		contexts[i] = Context{isLeader: i == LeaderIndex, proc: i, sink: lp}
 	}
 
 	sched.Reset(numLinks(n))
@@ -47,10 +74,10 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			stats.record(fromProc, to, s.Payload)
+			lp.stats.record(fromProc, to, arrival, s.Payload)
 			if cfg.RecordTrace {
-				trace = append(trace, Event{Seq: seq, Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
-				seq++
+				lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
+				lp.seq++
 			}
 			sched.Push(linkIndex(to, arrival), Delivery{To: to, From: arrival, Payload: s.Payload})
 		}
@@ -63,8 +90,8 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
 			continue
 		}
 		if cfg.RecordTrace {
-			trace = append(trace, Event{Seq: seq, Kind: EventStart, Processor: i})
-			seq++
+			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventStart, Processor: i})
+			lp.seq++
 		}
 		sends, err := nodes[i].Start(&contexts[i])
 		if err != nil {
@@ -73,14 +100,14 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
 		if err := dispatch(i, sends); err != nil {
 			return nil, err
 		}
-		if verdict != VerdictNone {
+		if lp.verdict != VerdictNone {
 			break
 		}
 	}
 
 	// Delivery loop.
 	delivered := 0
-	for verdict == VerdictNone {
+	for lp.verdict == VerdictNone {
 		d, ok := sched.Next()
 		if !ok {
 			break
@@ -90,14 +117,14 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
 		}
 		delivered++
 		if cfg.RecordTrace {
-			trace = append(trace, Event{Seq: seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload})
-			seq++
+			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload})
+			lp.seq++
 		}
 		sends, err := nodes[d.To].Receive(&contexts[d.To], d.From, d.Payload)
 		if err != nil {
 			return nil, fmt.Errorf("ring: receive at processor %d: %w", d.To, err)
 		}
-		if verdict != VerdictNone {
+		if lp.verdict != VerdictNone {
 			// The leader decided while processing this delivery; the paper's
 			// model terminates the execution at that point.
 			break
@@ -107,10 +134,10 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler) (*Result, error) {
 		}
 	}
 
-	if cfg.RequireVerdict && verdict == VerdictNone {
+	if cfg.RequireVerdict && lp.verdict == VerdictNone {
 		return nil, ErrNoVerdict
 	}
-	return &Result{Verdict: verdict, Stats: stats, Trace: trace}, nil
+	return &Result{Verdict: lp.verdict, Stats: &lp.stats, Trace: lp.trace}, nil
 }
 
 // ScheduledEngine drives the shared event loop with a fresh scheduler per
@@ -129,14 +156,19 @@ func NewScheduledEngine(name string, factory func() Scheduler) *ScheduledEngine 
 	return &ScheduledEngine{name: name, factory: factory}
 }
 
-var _ Engine = (*ScheduledEngine)(nil)
+var _ StatefulEngine = (*ScheduledEngine)(nil)
 
 // Name implements Engine.
 func (e *ScheduledEngine) Name() string { return e.name }
 
 // Run implements Engine.
 func (e *ScheduledEngine) Run(cfg Config, nodes []Node) (*Result, error) {
-	return runLoop(cfg, nodes, e.factory())
+	return runLoop(cfg, nodes, e.factory(), nil)
+}
+
+// RunWith implements StatefulEngine.
+func (e *ScheduledEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
+	return runLoop(cfg, nodes, st.scheduler(e, e.factory), st)
 }
 
 // NewRoundRobinEngine returns an engine delivering round-robin by link.

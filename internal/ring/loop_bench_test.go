@@ -14,6 +14,12 @@ import (
 	"ringlang/internal/bits"
 )
 
+// funcSink adapts a closure to verdictSink for the seed-replica loops, which
+// predate the shared sink plumbing.
+type funcSink func(proc int, v Verdict) error
+
+func (f funcSink) decide(proc int, v Verdict) error { return f(proc, v) }
+
 // seedSequentialRun replicates the seed SequentialEngine.Run delivery loop:
 // a single []pendingDelivery advanced with queue = queue[1:].
 func seedSequentialRun(cfg Config, nodes []Node) (*Result, error) {
@@ -36,18 +42,18 @@ func seedSequentialRun(cfg Config, nodes []Node) (*Result, error) {
 	verdict := VerdictNone
 	contexts := make([]*Context, n)
 	for i := range contexts {
-		idx := i
 		contexts[i] = &Context{
-			isLeader: idx == LeaderIndex,
-			decide: func(v Verdict) error {
+			isLeader: i == LeaderIndex,
+			proc:     i,
+			sink: funcSink(func(proc int, v Verdict) error {
 				if verdict != VerdictNone {
 					return ErrAlreadyDecided
 				}
 				verdict = v
-				addEvent(Event{Kind: EventVerdict, Processor: idx, Verdict: v})
+				addEvent(Event{Kind: EventVerdict, Processor: proc, Verdict: v})
 				seq++
 				return nil
-			},
+			}),
 		}
 	}
 
@@ -63,7 +69,7 @@ func seedSequentialRun(cfg Config, nodes []Node) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			stats.record(fromProc, to, s.Payload)
+			stats.record(fromProc, to, arrival, s.Payload)
 			addEvent(Event{Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
 			seq++
 			queue = append(queue, pendingDelivery{to: to, from: arrival, payload: s.Payload})
@@ -130,16 +136,16 @@ func seedRandomOrderRun(cfg Config, nodes []Node, seedVal int64) (*Result, error
 	verdict := VerdictNone
 	contexts := make([]*Context, n)
 	for i := range contexts {
-		idx := i
 		contexts[i] = &Context{
-			isLeader: idx == LeaderIndex,
-			decide: func(v Verdict) error {
+			isLeader: i == LeaderIndex,
+			proc:     i,
+			sink: funcSink(func(proc int, v Verdict) error {
 				if verdict != VerdictNone {
 					return ErrAlreadyDecided
 				}
 				verdict = v
 				return nil
-			},
+			}),
 		}
 	}
 
@@ -155,7 +161,7 @@ func seedRandomOrderRun(cfg Config, nodes []Node, seedVal int64) (*Result, error
 			if err != nil {
 				return err
 			}
-			stats.record(fromProc, to, s.Payload)
+			stats.record(fromProc, to, arrival, s.Payload)
 			key := linkKey{to: to, from: arrival}
 			q := queues[key]
 			if len(q) == 0 {

@@ -24,11 +24,21 @@ type Node interface {
 	Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error)
 }
 
+// verdictSink receives the leader's decision. Both the single-goroutine loop
+// state and the concurrent engine's shared state implement it; contexts hold
+// one shared sink pointer instead of one decide closure per processor, which
+// keeps a reused context slice allocation-free.
+type verdictSink interface {
+	decide(proc int, v Verdict) error
+}
+
 // Context is the engine-provided handle a Node uses to report decisions.
-// It is scoped to a single processor.
+// It is scoped to a single processor and valid only for the duration of the
+// run that provided it.
 type Context struct {
 	isLeader bool
-	decide   func(Verdict) error
+	proc     int
+	sink     verdictSink
 }
 
 // ErrNotLeader is returned when a non-leader processor attempts to decide.
@@ -47,7 +57,7 @@ func (c *Context) Accept() error {
 	if !c.isLeader {
 		return ErrNotLeader
 	}
-	return c.decide(VerdictAccept)
+	return c.sink.decide(c.proc, VerdictAccept)
 }
 
 // Reject records the leader's rejecting decision and terminates the
@@ -56,7 +66,7 @@ func (c *Context) Reject() error {
 	if !c.isLeader {
 		return ErrNotLeader
 	}
-	return c.decide(VerdictReject)
+	return c.sink.decide(c.proc, VerdictReject)
 }
 
 // Decide records an explicit verdict value (used by simulation wrappers that
@@ -65,5 +75,5 @@ func (c *Context) Decide(v Verdict) error {
 	if !c.isLeader {
 		return ErrNotLeader
 	}
-	return c.decide(v)
+	return c.sink.decide(c.proc, v)
 }

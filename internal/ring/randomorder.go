@@ -16,7 +16,7 @@ type RandomOrderEngine struct {
 	seed int64
 }
 
-var _ Engine = (*RandomOrderEngine)(nil)
+var _ StatefulEngine = (*RandomOrderEngine)(nil)
 
 // NewRandomOrderEngine returns an engine whose delivery order is determined
 // by the seed.
@@ -29,5 +29,11 @@ func (e *RandomOrderEngine) Name() string { return fmt.Sprintf("random-order(see
 
 // Run implements Engine.
 func (e *RandomOrderEngine) Run(cfg Config, nodes []Node) (*Result, error) {
-	return runLoop(cfg, nodes, &randomScheduler{seed: e.seed})
+	return runLoop(cfg, nodes, &randomScheduler{seed: e.seed}, nil)
+}
+
+// RunWith implements StatefulEngine. The scheduler re-seeds on every Reset,
+// so a reused scheduler produces the identical delivery order each run.
+func (e *RandomOrderEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
+	return runLoop(cfg, nodes, st.scheduler(e, func() Scheduler { return NewRandomScheduler(e.seed) }), st)
 }

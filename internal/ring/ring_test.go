@@ -380,10 +380,13 @@ func TestPerLinkStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Stats.PerLink) != n {
-		t.Fatalf("expected %d used links, got %d", n, len(res.Stats.PerLink))
+	if len(res.Stats.PerLink()) != n {
+		t.Fatalf("expected %d used links, got %d", n, len(res.Stats.PerLink()))
 	}
-	for key, ls := range res.Stats.PerLink {
+	if got := res.Stats.Links(); len(got) != n {
+		t.Fatalf("expected %d links from Links(), got %d", n, len(got))
+	}
+	for key, ls := range res.Stats.PerLink() {
 		if ls.Messages != 1 || ls.Bits != 1 {
 			t.Errorf("link %v stats = %+v, want 1 message / 1 bit", key, ls)
 		}

@@ -6,7 +6,7 @@ package ring
 // algorithms it is exactly the unique execution described in Section 2.
 type SequentialEngine struct{}
 
-var _ Engine = (*SequentialEngine)(nil)
+var _ StatefulEngine = (*SequentialEngine)(nil)
 
 // NewSequentialEngine returns a deterministic engine.
 func NewSequentialEngine() *SequentialEngine {
@@ -18,5 +18,10 @@ func (e *SequentialEngine) Name() string { return "sequential" }
 
 // Run implements Engine.
 func (e *SequentialEngine) Run(cfg Config, nodes []Node) (*Result, error) {
-	return runLoop(cfg, nodes, &fifoScheduler{})
+	return runLoop(cfg, nodes, &fifoScheduler{}, nil)
+}
+
+// RunWith implements StatefulEngine.
+func (e *SequentialEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
+	return runLoop(cfg, nodes, st.scheduler(e, NewFIFOScheduler), st)
 }

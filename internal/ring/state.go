@@ -1,0 +1,47 @@
+package ring
+
+// RunState owns the per-run allocations of the shared event loop — the stats
+// accounting, the processor contexts and (for engines that cache one) the
+// scheduler with its per-link queues — so a caller that executes many runs
+// can pay for them once instead of per run. A RunState may be used by one
+// goroutine at a time; batch executors keep one per worker.
+//
+// A Result produced with a RunState aliases the state's Stats: it is valid
+// only until the state's next run. Snapshot with Stats.Clone to retain it.
+type RunState struct {
+	loop     loopState
+	contexts []Context
+
+	// sched caches the scheduler built by the engine that last ran with this
+	// state, keyed by that engine, so repeated runs under one engine reuse
+	// the scheduler's deque backing arrays.
+	sched      Scheduler
+	schedOwner Engine
+}
+
+// NewRunState returns an empty reusable run state.
+func NewRunState() *RunState {
+	return &RunState{}
+}
+
+// scheduler returns the cached scheduler if owner built it, otherwise builds
+// and caches a fresh one with factory.
+func (st *RunState) scheduler(owner Engine, factory func() Scheduler) Scheduler {
+	if st.schedOwner != owner || st.sched == nil {
+		st.sched = factory()
+		st.schedOwner = owner
+	}
+	return st.sched
+}
+
+// StatefulEngine is implemented by engines that can execute a run inside
+// caller-owned reusable state. All scheduler-backed engines implement it; the
+// concurrent engine does not (its state is inherently per-run goroutine
+// plumbing).
+type StatefulEngine interface {
+	Engine
+	// RunWith behaves exactly like Run but reuses st's allocations. The
+	// returned Result aliases st (see RunState) and must be consumed or
+	// cloned before st's next run.
+	RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error)
+}

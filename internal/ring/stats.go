@@ -1,6 +1,10 @@
 package ring
 
-import "ringlang/internal/bits"
+import (
+	"sort"
+
+	"ringlang/internal/bits"
+)
 
 // LinkStats accumulates traffic over one directed link of the ring.
 type LinkStats struct {
@@ -15,6 +19,11 @@ type LinkStats struct {
 
 // Stats is the bit/message accounting of one execution. It is computed by
 // the engine; algorithms never report their own costs.
+//
+// Per-link traffic is stored densely: one LinkStats slot per directed link id
+// (see linkIndex), so the hot path indexes an array instead of hashing a map
+// key per message. The map the seed code exposed survives as the lazily-built
+// view returned by PerLink.
 type Stats struct {
 	// Processors is the ring size n.
 	Processors int
@@ -25,32 +34,118 @@ type Stats struct {
 	Bits int
 	// MaxMessageBits is the largest single message payload.
 	MaxMessageBits int
-	// PerLink holds one entry per directed link that carried at least one
-	// message, keyed by (From, To).
-	PerLink map[[2]int]*LinkStats
+
+	// perLink is indexed by linkIndex(to, arrival); a slot with Messages == 0
+	// never carried traffic. It is allocated lazily on the first record so a
+	// run that sends nothing allocates nothing.
+	perLink []LinkStats
+	// view is the cached result of PerLink, invalidated on every record.
+	view map[[2]int]*LinkStats
 }
 
 // newStats allocates a Stats for a ring of n processors.
 func newStats(n int) *Stats {
-	return &Stats{Processors: n, PerLink: make(map[[2]int]*LinkStats)}
+	return &Stats{Processors: n}
 }
 
-// record accounts one message sent from processor `from` to processor `to`.
-func (s *Stats) record(from, to int, payload bits.String) {
+// reset prepares the Stats for a fresh run on a ring of n processors, keeping
+// the per-link backing array when its capacity suffices. This is what makes a
+// Stats reusable across the runs of a batch worker.
+func (s *Stats) reset(n int) {
+	s.Processors = n
+	s.Messages = 0
+	s.Bits = 0
+	s.MaxMessageBits = 0
+	s.view = nil
+	links := numLinks(n)
+	if cap(s.perLink) >= links {
+		s.perLink = s.perLink[:links]
+		for i := range s.perLink {
+			s.perLink[i] = LinkStats{}
+		}
+	} else {
+		s.perLink = nil // reallocated lazily at the new size
+	}
+}
+
+// record accounts one message sent from processor `from` to processor `to`,
+// arriving from direction `arrival` as the receiver perceives it (the pair
+// (to, arrival) names the directed link, see linkIndex).
+func (s *Stats) record(from, to int, arrival Direction, payload bits.String) {
 	n := payload.Len()
 	s.Messages++
 	s.Bits += n
 	if n > s.MaxMessageBits {
 		s.MaxMessageBits = n
 	}
-	key := [2]int{from, to}
-	ls := s.PerLink[key]
-	if ls == nil {
-		ls = &LinkStats{From: from, To: to}
-		s.PerLink[key] = ls
+	if s.perLink == nil {
+		s.perLink = make([]LinkStats, numLinks(s.Processors))
+	}
+	ls := &s.perLink[linkIndex(to, arrival)]
+	if ls.Messages == 0 {
+		ls.From, ls.To = from, to
 	}
 	ls.Messages++
 	ls.Bits += n
+	s.view = nil
+}
+
+// Links returns the links that carried at least one message, ordered by
+// (From, To) — the PerLink view as a deterministic slice, including its
+// merge of the two link directions that share a key on 1- and 2-rings. The
+// returned slice is freshly allocated and safe to retain.
+func (s *Stats) Links() []LinkStats {
+	view := s.PerLink()
+	out := make([]LinkStats, 0, len(view))
+	for _, ls := range view {
+		out = append(out, *ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// PerLink returns the traffic per directed link, keyed by (From, To) — the
+// view the seed Stats stored directly. It is built on first call and cached
+// until the next record. On rings of one or two processors the forward and
+// backward link between a pair of processors share a (From, To) key; their
+// traffic is merged, matching the seed behaviour.
+func (s *Stats) PerLink() map[[2]int]*LinkStats {
+	if s.view != nil {
+		return s.view
+	}
+	view := make(map[[2]int]*LinkStats)
+	for i := range s.perLink {
+		if s.perLink[i].Messages == 0 {
+			continue
+		}
+		ls := s.perLink[i]
+		key := [2]int{ls.From, ls.To}
+		if prev, ok := view[key]; ok {
+			prev.Messages += ls.Messages
+			prev.Bits += ls.Bits
+			continue
+		}
+		entry := ls
+		view[key] = &entry
+	}
+	s.view = view
+	return view
+}
+
+// Clone returns an independent deep copy. Batch executors that reuse one
+// Stats across runs snapshot each run's accounting with it.
+func (s *Stats) Clone() *Stats {
+	c := *s
+	c.view = nil
+	if s.perLink != nil {
+		c.perLink = append([]LinkStats(nil), s.perLink...)
+	}
+	return &c
 }
 
 // BitsPerProcessor returns Bits / n, the per-processor average used when
@@ -64,12 +159,18 @@ func (s *Stats) BitsPerProcessor() float64 {
 
 // MinLinkBits returns the smallest bit count over all links that carried
 // traffic, and the link itself; this is the quantity the Theorem 5
-// transformation cuts the ring at. The boolean is false if no link carried
-// any message.
+// transformation cuts the ring at. It works on the PerLink view, so a cut on
+// a degenerate 1- or 2-ring sees a processor pair's two directions as one
+// merged link, like the seed accounting did. Ties are broken
+// deterministically towards the lowest (From, To) pair, so the cut link of
+// two identical runs is always the same link. The boolean is false if no
+// link carried any message.
 func (s *Stats) MinLinkBits() (LinkStats, bool) {
 	var best *LinkStats
-	for _, ls := range s.PerLink {
-		if best == nil || ls.Bits < best.Bits {
+	for _, ls := range s.PerLink() {
+		if best == nil || ls.Bits < best.Bits ||
+			(ls.Bits == best.Bits && (ls.From < best.From ||
+				(ls.From == best.From && ls.To < best.To))) {
 			best = ls
 		}
 	}
@@ -134,7 +235,10 @@ type Result struct {
 	// Verdict is the leader's decision, or VerdictNone for algorithms that
 	// terminate by quiescence.
 	Verdict Verdict
-	// Stats is the exact bit/message accounting of the execution.
+	// Stats is the exact bit/message accounting of the execution. When the
+	// run reused caller-owned state (see RunState), Stats aliases that state
+	// and is only valid until the state's next run; snapshot with Clone to
+	// retain it.
 	Stats *Stats
 	// Trace is the recorded event sequence (nil unless Config.RecordTrace).
 	Trace Trace

@@ -3,7 +3,6 @@ package trace
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"ringlang/internal/ring"
@@ -37,16 +36,7 @@ func BuildReport(res *ring.Result, inputs []string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	links := make([]ring.LinkStats, 0, len(res.Stats.PerLink))
-	for _, ls := range res.Stats.PerLink {
-		links = append(links, *ls)
-	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].From != links[j].From {
-			return links[i].From < links[j].From
-		}
-		return links[i].To < links[j].To
-	})
+	links := res.Stats.Links()
 	return &Report{
 		Verdict:        res.Verdict,
 		Processors:     res.Stats.Processors,

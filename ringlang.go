@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"ringlang/internal/core"
+	"ringlang/internal/exec"
 	"ringlang/internal/lang"
 	"ringlang/internal/ring"
 )
@@ -87,6 +88,10 @@ type Options struct {
 	Schedule string
 	// Seed drives randomized schedules (Schedule == "random").
 	Seed int64
+	// Workers is the number of worker goroutines RecognizeBatch fans words
+	// across; values < 1 mean one worker per CPU (runtime.GOMAXPROCS).
+	// Single-word Recognize calls ignore it.
+	Workers int
 }
 
 // schedule resolves the effective schedule name.
@@ -119,19 +124,57 @@ func RecognizeWith(rec Recognizer, word Word, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
 	}
+	return newReport(rec, word, res.Verdict, res.Stats, schedule), nil
+}
+
+// newReport assembles a Report from one execution's verdict and accounting.
+func newReport(rec Recognizer, word Word, verdict Verdict, stats *ring.Stats, schedule string) *Report {
 	return &Report{
 		Algorithm:         rec.Name(),
 		LanguageName:      rec.Language().Name(),
-		Verdict:           res.Verdict,
+		Verdict:           verdict,
 		Member:            rec.Language().Contains(word),
-		Messages:          res.Stats.Messages,
-		Bits:              res.Stats.Bits,
-		BitsPerProcessor:  res.Stats.BitsPerProcessor(),
-		MaxMessageBits:    res.Stats.MaxMessageBits,
-		ProcessorCount:    res.Stats.Processors,
+		Messages:          stats.Messages,
+		Bits:              stats.Bits,
+		BitsPerProcessor:  stats.BitsPerProcessor(),
+		MaxMessageBits:    stats.MaxMessageBits,
+		ProcessorCount:    stats.Processors,
 		Schedule:          schedule,
 		UsedConcurrentRun: schedule == "concurrent",
-	}, nil
+	}
+}
+
+// RecognizeBatch builds the named algorithm once and runs it on every word,
+// fanning the executions across a worker pool (internal/exec) whose workers
+// reuse their run state — engine, scheduler queues, stats — from word to
+// word. Reports are returned in word order and are exactly what per-word
+// Recognize calls would produce, under every schedule. The first failing
+// word fails the batch.
+func RecognizeBatch(algorithm, language string, words []Word, opts Options) ([]*Report, error) {
+	rec, err := core.NewRecognizerByName(algorithm, language)
+	if err != nil {
+		return nil, err
+	}
+	return RecognizeBatchWith(rec, words, opts)
+}
+
+// RecognizeBatchWith runs an already constructed recognizer on every word in
+// parallel; see RecognizeBatch.
+func RecognizeBatchWith(rec Recognizer, words []Word, opts Options) ([]*Report, error) {
+	schedule := opts.schedule()
+	jobs := make([]exec.Job, len(words))
+	for i, w := range words {
+		jobs[i] = exec.Job{Rec: rec, Word: w, Schedule: schedule, Seed: opts.Seed}
+	}
+	results := exec.RunBatch(jobs, exec.Options{Workers: opts.Workers})
+	reports := make([]*Report, len(words))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("ringlang: word %d (%q): %w", i, words[i].String(), r.Err)
+		}
+		reports[i] = newReport(rec, words[i], r.Verdict, r.Stats, schedule)
+	}
+	return reports, nil
 }
 
 // AlgorithmNames lists the algorithms accepted by Recognize.
