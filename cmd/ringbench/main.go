@@ -8,7 +8,7 @@
 //	ringbench -e E13        # the full-factorial schedule sweep
 //	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
 //	ringbench -workers 0 -e E13             # fan sweep cells over all CPUs
-//	ringbench -list         # list experiment identifiers
+//	ringbench -list         # list experiments plus the algorithm/language/schedule catalogs
 //
 // -workers selects how many goroutines the sweeps fan their (size × schedule)
 // cells across: 1 (the default) runs serially, 0 uses one worker per CPU, any
@@ -22,6 +22,9 @@ import (
 	"strings"
 
 	"ringlang/internal/bench"
+	"ringlang/internal/core"
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
 )
 
 func main() {
@@ -35,7 +38,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ringbench", flag.ContinueOnError)
 	var (
 		quick      = fs.Bool("quick", false, "use reduced sweep sizes")
-		list       = fs.Bool("list", false, "list experiment identifiers and exit")
+		list       = fs.Bool("list", false, "list experiments and the algorithm/language/schedule catalogs, then exit")
 		experiment = fs.String("e", "", "comma-separated experiment identifiers (default: all)")
 		plot       = fs.Bool("plot", false, "render the headline log-log scaling figure and exit")
 		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
@@ -62,8 +65,21 @@ func run(args []string) error {
 		suite = bench.SuiteQuick
 	}
 	if *list {
+		fmt.Println("experiments:")
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Description)
+			fmt.Printf("  %-4s %s\n", e.ID, e.Description)
+		}
+		fmt.Println("algorithms:")
+		for _, name := range core.AlgorithmNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("languages:")
+		for _, name := range lang.CatalogNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("schedules:")
+		for _, name := range ring.ScheduleNames() {
+			fmt.Printf("  %s\n", name)
 		}
 		return nil
 	}

@@ -32,6 +32,16 @@ func ExperimentE11(sizes []int) (*Table, error) {
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("balanced-counter: log-log slope = %.3f", FitLogLogSlope(points)))
 
+	majority := core.NewMajority()
+	majorityPoints, err := MeasureRecognizer(majority, sizes, MeasureOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range majorityPoints {
+		t.AddRow("majority (token framework)", fmtInt(p.N), fmtInt(p.Bits), perNLogN(p.Bits, p.N), fmtInt(p.Messages))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("majority: log-log slope = %.3f", FitLogLogSlope(majorityPoints)))
+
 	for _, kind := range []core.AggregateKind{core.AggregateMax, core.AggregateSum, core.AggregateCountNonZero} {
 		var aggPoints []Point
 		for _, n := range sizes {

@@ -19,6 +19,13 @@ func NewReader(s String) *Reader {
 	return &Reader{s: s}
 }
 
+// Reset repositions the reader at the start of s, allowing one Reader value
+// to decode many payloads without a per-message allocation.
+func (r *Reader) Reset(s String) {
+	r.s = s
+	r.pos = 0
+}
+
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int {
 	return r.s.n - r.pos
@@ -43,21 +50,30 @@ func (r *Reader) ReadBool() (bool, error) {
 }
 
 // ReadUint consumes `width` bits and returns them as an unsigned integer
-// (most significant bit first).
+// (most significant bit first). Like WriteUint it moves a byte at a time:
+// every message decode funnels through here.
 func (r *Reader) ReadUint(width int) (uint64, error) {
+	if width <= 0 {
+		return 0, nil
+	}
 	if width > 64 {
 		width = 64
 	}
+	if r.pos+width > r.s.n {
+		return 0, fmt.Errorf("read uint width %d: %w: reading bool at %d", width, ErrTruncated, r.s.n)
+	}
 	var v uint64
-	for i := 0; i < width; i++ {
-		b, err := r.ReadBool()
-		if err != nil {
-			return 0, fmt.Errorf("read uint width %d: %w", width, err)
+	for width > 0 {
+		off := r.pos % 8
+		space := 8 - off
+		k := width
+		if k > space {
+			k = space
 		}
-		v <<= 1
-		if b {
-			v |= 1
-		}
+		chunk := r.s.data[r.pos/8] >> uint(space-k) & (1<<uint(k) - 1)
+		v = v<<uint(k) | uint64(chunk)
+		r.pos += k
+		width -= k
 	}
 	return v, nil
 }
@@ -75,10 +91,16 @@ func (r *Reader) ReadString(width int) (String, error) {
 	return w.String(), nil
 }
 
-// ReadUnary consumes a unary code (ones terminated by a zero).
+// ReadUnary consumes a unary code (ones terminated by a zero). Runs of ones
+// grow linearly with the ring size under the unary counter ablation, so
+// aligned all-ones bytes are consumed whole, mirroring WriteUnary.
 func (r *Reader) ReadUnary() (uint64, error) {
 	var v uint64
 	for {
+		for r.pos%8 == 0 && r.pos+8 <= r.s.n && r.s.data[r.pos/8] == 0xFF {
+			r.pos += 8
+			v += 8
+		}
 		b, err := r.ReadBool()
 		if err != nil {
 			return 0, fmt.Errorf("read unary: %w", err)

@@ -29,27 +29,61 @@ func (w *Writer) WriteBool(b bool) {
 
 // WriteUint appends the low `width` bits of v, most significant bit first.
 // Width zero writes nothing. Widths above 64 are clamped to 64.
+//
+// The write proceeds a byte at a time regardless of the writer's current bit
+// alignment: every message codec funnels through here (fixed-width fields and
+// the binary tails of the Elias codes), so this is the encode hot path.
 func (w *Writer) WriteUint(v uint64, width int) {
+	if width <= 0 {
+		return
+	}
 	if width > 64 {
 		width = 64
+	} else {
+		v &= 1<<uint(width) - 1
 	}
-	for i := width - 1; i >= 0; i-- {
-		w.WriteBool(v>>uint(i)&1 == 1)
+	for width > 0 {
+		off := w.n % 8
+		if off == 0 {
+			w.data = append(w.data, 0)
+		}
+		space := 8 - off
+		k := width
+		if k > space {
+			k = space
+		}
+		chunk := byte(v >> uint(width-k))
+		w.data[len(w.data)-1] |= chunk << uint(space-k)
+		w.n += k
+		width -= k
 	}
 }
 
-// WriteString appends an existing bit string.
+// WriteString appends an existing bit string, a byte at a time.
 func (w *Writer) WriteString(s String) {
-	for i := 0; i < s.n; i++ {
-		b, _ := s.Bit(i)
-		w.WriteBool(b)
+	full := s.n / 8
+	for i := 0; i < full; i++ {
+		w.WriteUint(uint64(s.data[i]), 8)
+	}
+	if rem := s.n % 8; rem > 0 {
+		w.WriteUint(uint64(s.data[full]>>uint(8-rem)), rem)
 	}
 }
 
 // WriteUnary appends v as a unary code: v ones followed by a zero. It is used
-// only by tests and by deliberately wasteful baseline encodings.
+// only by tests and by deliberately wasteful baseline encodings, whose runs of
+// ones grow linearly with the ring size — hence the whole-byte fast path.
 func (w *Writer) WriteUnary(v uint64) {
-	for i := uint64(0); i < v; i++ {
+	for v > 0 && w.n%8 != 0 {
+		w.WriteBool(true)
+		v--
+	}
+	for v >= 8 {
+		w.data = append(w.data, 0xFF)
+		w.n += 8
+		v -= 8
+	}
+	for ; v > 0; v-- {
 		w.WriteBool(true)
 	}
 	w.WriteBool(false)
@@ -65,9 +99,7 @@ func (w *Writer) WriteEliasGamma(v uint64) {
 		v = 1
 	}
 	n := bits.Len64(v) - 1 // ⌊log2 v⌋
-	for i := 0; i < n; i++ {
-		w.WriteBool(false)
-	}
+	w.WriteUint(0, n)
 	w.WriteUint(v, n+1)
 }
 
@@ -101,6 +133,15 @@ func (w *Writer) String() String {
 	data := make([]byte, len(w.data))
 	copy(data, w.data)
 	return String{data: data, n: w.n}
+}
+
+// BitString returns the accumulated bits as a String that aliases the
+// writer's buffer — no copy is made. The returned String is valid only until
+// the writer's next Write or Reset; callers that hand it to longer-lived
+// consumers must uphold that discipline themselves (the ring engine's
+// single-token payload path does) or snapshot with String instead.
+func (w *Writer) BitString() String {
+	return String{data: w.data, n: w.n}
 }
 
 // Reset clears the writer for reuse.

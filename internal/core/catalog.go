@@ -32,6 +32,8 @@ func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 		return NewCountBackward(lang.NewPerfectSquareLength()), nil
 	case "three-counters":
 		return NewThreeCounters(), nil
+	case "majority":
+		return NewMajority(), nil
 	case "balanced-counter":
 		return NewBalancedCounter(), nil
 	case "compare-wcw":
@@ -79,6 +81,7 @@ func AlgorithmNames() []string {
 		"count",
 		"count-backward",
 		"three-counters",
+		"majority",
 		"balanced-counter",
 		"compare-wcw",
 		"lg",

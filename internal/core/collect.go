@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // CollectAll is the trivial universal algorithm the paper uses as the O(n²)
@@ -14,7 +13,7 @@ import (
 // Message i carries i letters of ⌈log |Σ|⌉ bits each plus a δ-coded length,
 // so the total is Θ(n² log |Σ|) bits.
 type CollectAll struct {
-	language   lang.Language
+	*TokenRecognizer[[]lang.Letter]
 	letterBits int
 }
 
@@ -22,96 +21,46 @@ var _ Recognizer = (*CollectAll)(nil)
 
 // NewCollectAll builds the collect-everything baseline for any language.
 func NewCollectAll(language lang.Language) *CollectAll {
+	alphabet := language.Alphabet()
+	letterBits := bits.UintWidth(uint64(alphabet.Size() - 1))
 	return &CollectAll{
-		language:   language,
-		letterBits: bits.UintWidth(uint64(language.Alphabet().Size() - 1)),
+		TokenRecognizer: mustTokenRecognizer(TokenAlgo[[]lang.Letter]{
+			AlgoName: "collect-all",
+			Language: language,
+			Passes: []TokenPass[[]lang.Letter]{{
+				Fold: func(letters []lang.Letter, letter lang.Letter) ([]lang.Letter, error) {
+					return append(letters, letter), nil
+				},
+				Encode: func(w *bits.Writer, letters []lang.Letter) {
+					w.WriteDeltaValue(uint64(len(letters)))
+					for _, l := range letters {
+						w.WriteUint(uint64(alphabet.Index(l)), letterBits)
+					}
+				},
+				Decode: func(r *bits.Reader) ([]lang.Letter, error) {
+					count, err := r.ReadDeltaValue()
+					if err != nil {
+						return nil, fmt.Errorf("decode count: %w", err)
+					}
+					letters := make([]lang.Letter, 0, count)
+					for i := uint64(0); i < count; i++ {
+						idx, err := r.ReadUint(letterBits)
+						if err != nil {
+							return nil, fmt.Errorf("decode letter %d: %w", i, err)
+						}
+						if int(idx) >= alphabet.Size() {
+							return nil, fmt.Errorf("letter index %d out of range", idx)
+						}
+						letters = append(letters, alphabet[idx])
+					}
+					return letters, nil
+				},
+			}},
+			// The accumulated letters are σ₁ … σ_n in ring order.
+			Verdict: func(letters []lang.Letter) bool {
+				return language.Contains(lang.Word(letters))
+			},
+		}),
+		letterBits: letterBits,
 	}
-}
-
-// Name implements Recognizer.
-func (c *CollectAll) Name() string { return "collect-all" }
-
-// Language implements Recognizer.
-func (c *CollectAll) Language() lang.Language { return c.language }
-
-// Mode implements Recognizer.
-func (c *CollectAll) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (c *CollectAll) NewNodes(word lang.Word) ([]ring.Node, error) {
-	alphabet := c.language.Alphabet()
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if !alphabet.Contains(letter) {
-			return nil, fmt.Errorf("collect-all: letter %q outside the alphabet", letter)
-		}
-		nodes[i] = &collectNode{algo: c, letter: letter, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// encodeLetters writes a δ-coded count followed by fixed-width letter
-// indices.
-func (c *CollectAll) encodeLetters(letters []lang.Letter) bits.String {
-	var w bits.Writer
-	w.WriteDeltaValue(uint64(len(letters)))
-	alphabet := c.language.Alphabet()
-	for _, l := range letters {
-		w.WriteUint(uint64(alphabet.Index(l)), c.letterBits)
-	}
-	return w.String()
-}
-
-// decodeLetters reverses encodeLetters.
-func (c *CollectAll) decodeLetters(payload bits.String) ([]lang.Letter, error) {
-	r := bits.NewReader(payload)
-	count, err := r.ReadDeltaValue()
-	if err != nil {
-		return nil, fmt.Errorf("collect-all: decode count: %w", err)
-	}
-	alphabet := c.language.Alphabet()
-	letters := make([]lang.Letter, 0, count)
-	for i := uint64(0); i < count; i++ {
-		idx, err := r.ReadUint(c.letterBits)
-		if err != nil {
-			return nil, fmt.Errorf("collect-all: decode letter %d: %w", i, err)
-		}
-		if int(idx) >= alphabet.Size() {
-			return nil, fmt.Errorf("collect-all: letter index %d out of range", idx)
-		}
-		letters = append(letters, alphabet[idx])
-	}
-	return letters, nil
-}
-
-// collectNode is the per-processor logic of the baseline.
-type collectNode struct {
-	algo   *CollectAll
-	letter lang.Letter
-	leader bool
-}
-
-// Start implements ring.Node.
-func (n *collectNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	return []ring.Send{ring.SendForward(n.algo.encodeLetters([]lang.Letter{n.letter}))}, nil
-}
-
-// Receive implements ring.Node.
-func (n *collectNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	letters, err := n.algo.decodeLetters(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
-		// The accumulated letters are σ₁ … σ_n in ring order.
-		if n.algo.language.Contains(lang.Word(letters)) {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	letters = append(letters, n.letter)
-	return []ring.Send{ring.SendForward(n.algo.encodeLetters(letters))}, nil
 }

@@ -194,6 +194,9 @@ func StandardModels() ([]Recognizer, []ComplexityModel, error) {
 	recs = append(recs, NewThreeCounters())
 	models = append(models, ModelThreeCounters())
 
+	recs = append(recs, NewMajority())
+	models = append(models, ModelMajority())
+
 	recs = append(recs, NewBalancedCounter())
 	models = append(models, ModelBalancedCounter())
 

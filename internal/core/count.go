@@ -19,6 +19,7 @@ import (
 // non-regular language recognized in Θ(n log n) bits, matching Theorem 4's
 // lower bound exactly.
 type Count struct {
+	*TokenRecognizer[uint64]
 	language *lang.LengthLanguage
 	coding   CounterCoding
 }
@@ -55,39 +56,66 @@ func (c CounterCoding) String() string {
 	}
 }
 
+// counterPass is the one token pass shared by every counting recognizer: the
+// counter starts at zero, every processor adds one, and the wire format is
+// the chosen coding.
+func counterPass(coding CounterCoding, decodeErr string) TokenPass[uint64] {
+	return TokenPass[uint64]{
+		Fold: func(v uint64, _ lang.Letter) (uint64, error) { return v + 1, nil },
+		Encode: func(w *bits.Writer, v uint64) {
+			switch coding {
+			case CodingGamma:
+				w.WriteGammaValue(v)
+			case CodingUnary:
+				w.WriteUnary(v)
+			default:
+				w.WriteDeltaValue(v)
+			}
+		},
+		Decode: func(r *bits.Reader) (uint64, error) {
+			var v uint64
+			var err error
+			switch coding {
+			case CodingGamma:
+				v, err = r.ReadGammaValue()
+			case CodingUnary:
+				v, err = r.ReadUnary()
+			default:
+				v, err = r.ReadDeltaValue()
+			}
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", decodeErr, err)
+			}
+			return v, nil
+		},
+	}
+}
+
 // NewCount builds the counting recognizer for a length language using the
 // default Elias-δ counter coding.
 func NewCount(language *lang.LengthLanguage) *Count {
-	return &Count{language: language, coding: CodingDelta}
+	return NewCountWithCoding(language, CodingDelta)
 }
 
 // NewCountWithCoding builds the counting recognizer with an explicit counter
 // coding (used by the encoding ablation).
 func NewCountWithCoding(language *lang.LengthLanguage, coding CounterCoding) *Count {
-	return &Count{language: language, coding: coding}
-}
-
-// writeCounter encodes v with the recognizer's coding.
-func (c *Count) writeCounter(w *bits.Writer, v uint64) {
-	switch c.coding {
-	case CodingGamma:
-		w.WriteGammaValue(v)
-	case CodingUnary:
-		w.WriteUnary(v)
-	default:
-		w.WriteDeltaValue(v)
+	name := "count"
+	if coding != CodingDelta {
+		name = "count-" + coding.String()
 	}
-}
-
-// readCounter decodes a counter written by writeCounter.
-func (c *Count) readCounter(r *bits.Reader) (uint64, error) {
-	switch c.coding {
-	case CodingGamma:
-		return r.ReadGammaValue()
-	case CodingUnary:
-		return r.ReadUnary()
-	default:
-		return r.ReadDeltaValue()
+	predicate := language.Predicate()
+	return &Count{
+		TokenRecognizer: mustTokenRecognizer(TokenAlgo[uint64]{
+			AlgoName: name,
+			Language: language,
+			Passes:   []TokenPass[uint64]{counterPass(coding, "decode counter")},
+			// After one pass the counter has been incremented by all n
+			// processors (the leader included), so it equals n.
+			Verdict: func(v uint64) bool { return predicate(int(v)) },
+		}),
+		language: language,
+		coding:   coding,
 	}
 }
 
@@ -97,70 +125,13 @@ func NewSquareCount() *Count {
 	return NewCount(lang.NewPerfectSquareLength())
 }
 
-// Name implements Recognizer.
-func (c *Count) Name() string {
-	if c.coding != CodingDelta {
-		return "count-" + c.coding.String()
-	}
-	return "count"
-}
-
-// Language implements Recognizer.
-func (c *Count) Language() lang.Language { return c.language }
-
-// Mode implements Recognizer.
-func (c *Count) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (c *Count) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i := range word {
-		nodes[i] = &countNode{algo: c, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// countNode is the per-processor logic of the counting pass.
-type countNode struct {
-	algo   *Count
-	leader bool
-}
-
-// Start implements ring.Node: the leader counts itself and sends 1.
-func (n *countNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	var w bits.Writer
-	n.algo.writeCounter(&w, 1)
-	return []ring.Send{ring.SendForward(w.String())}, nil
-}
-
-// Receive implements ring.Node.
-func (n *countNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	v, err := n.algo.readCounter(bits.NewReader(payload))
-	if err != nil {
-		return nil, fmt.Errorf("count: decode counter: %w", err)
-	}
-	if ctx.IsLeader() {
-		// The counter has been incremented by the n-1 followers and started
-		// at 1, so it now equals n.
-		if n.algo.language.Predicate()(int(v)) {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	var w bits.Writer
-	n.algo.writeCounter(&w, v+1)
-	return []ring.Send{ring.SendForward(w.String())}, nil
-}
-
 // CountBackward is the bidirectional twin of Count: the counter travels
 // Backward around the ring (the leader's first hop uses the p₁–p_n link), so
 // it is a genuinely bidirectional algorithm. It exists to exercise the
 // Theorem 7 Stage 1 line simulation, which must reroute that first hop the
 // long way around.
 type CountBackward struct {
+	*TokenRecognizer[uint64]
 	language *lang.LengthLanguage
 }
 
@@ -168,56 +139,15 @@ var _ Recognizer = (*CountBackward)(nil)
 
 // NewCountBackward builds the backward-travelling counting recognizer.
 func NewCountBackward(language *lang.LengthLanguage) *CountBackward {
-	return &CountBackward{language: language}
-}
-
-// Name implements Recognizer.
-func (c *CountBackward) Name() string { return "count-backward" }
-
-// Language implements Recognizer.
-func (c *CountBackward) Language() lang.Language { return c.language }
-
-// Mode implements Recognizer.
-func (c *CountBackward) Mode() ring.Mode { return ring.Bidirectional }
-
-// NewNodes implements Recognizer.
-func (c *CountBackward) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i := range word {
-		nodes[i] = &countBackwardNode{algo: c, leader: i == ring.LeaderIndex}
+	predicate := language.Predicate()
+	return &CountBackward{
+		TokenRecognizer: mustTokenRecognizer(TokenAlgo[uint64]{
+			AlgoName: "count-backward",
+			Language: language,
+			Dir:      ring.Backward,
+			Passes:   []TokenPass[uint64]{counterPass(CodingDelta, "decode counter")},
+			Verdict:  func(v uint64) bool { return predicate(int(v)) },
+		}),
+		language: language,
 	}
-	return nodes, nil
-}
-
-// countBackwardNode mirrors countNode but sends Backward.
-type countBackwardNode struct {
-	algo   *CountBackward
-	leader bool
-}
-
-// Start implements ring.Node.
-func (n *countBackwardNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	var w bits.Writer
-	w.WriteDeltaValue(1)
-	return []ring.Send{ring.SendBackward(w.String())}, nil
-}
-
-// Receive implements ring.Node.
-func (n *countBackwardNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	v, err := bits.NewReader(payload).ReadDeltaValue()
-	if err != nil {
-		return nil, fmt.Errorf("count-backward: decode counter: %w", err)
-	}
-	if ctx.IsLeader() {
-		if n.algo.language.Predicate()(int(v)) {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	var w bits.Writer
-	w.WriteDeltaValue(v + 1)
-	return []ring.Send{ring.SendBackward(w.String())}, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // BalancedCounter recognizes the Dyck language of balanced brackets with a
@@ -14,108 +13,59 @@ import (
 // classic context-free language sitting at the Θ(n log n) floor of the
 // non-regular class.
 type BalancedCounter struct {
-	language *lang.Dyck
+	*TokenRecognizer[dyckState]
 }
 
 var _ Recognizer = (*BalancedCounter)(nil)
 
-// NewBalancedCounter builds the depth-counter recognizer for the Dyck
-// language.
-func NewBalancedCounter() *BalancedCounter {
-	return &BalancedCounter{language: lang.NewDyck()}
-}
-
-// Name implements Recognizer.
-func (b *BalancedCounter) Name() string { return "balanced-counter" }
-
-// Language implements Recognizer.
-func (b *BalancedCounter) Language() lang.Language { return b.language }
-
-// Mode implements Recognizer.
-func (b *BalancedCounter) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (b *BalancedCounter) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if letter != '(' && letter != ')' {
-			return nil, fmt.Errorf("balanced-counter: letter %q outside {(,)}", letter)
-		}
-		nodes[i] = &dyckNode{letter: letter, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// dyckState is the decoded single-pass message: the current nesting depth and
-// whether the depth ever went negative.
+// dyckState is the token state: the current nesting depth and whether the
+// depth ever went negative.
 type dyckState struct {
 	failed bool
 	depth  uint64
 }
 
-func encodeDyck(s dyckState) bits.String {
-	var w bits.Writer
-	w.WriteBool(s.failed)
-	w.WriteDeltaValue(s.depth)
-	return w.String()
-}
-
-func decodeDyck(payload bits.String) (dyckState, error) {
-	r := bits.NewReader(payload)
-	var s dyckState
-	var err error
-	if s.failed, err = r.ReadBool(); err != nil {
-		return s, fmt.Errorf("balanced-counter: decode flag: %w", err)
-	}
-	if s.depth, err = r.ReadDeltaValue(); err != nil {
-		return s, fmt.Errorf("balanced-counter: decode depth: %w", err)
-	}
-	return s, nil
-}
-
-// apply folds one bracket into the state.
-func (s dyckState) apply(letter lang.Letter) dyckState {
-	out := s
-	if out.failed {
-		return out
-	}
-	if letter == '(' {
-		out.depth++
-		return out
-	}
-	if out.depth == 0 {
-		out.failed = true
-		return out
-	}
-	out.depth--
-	return out
-}
-
-// dyckNode is the per-processor logic.
-type dyckNode struct {
-	letter lang.Letter
-	leader bool
-}
-
-// Start implements ring.Node.
-func (n *dyckNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	return []ring.Send{ring.SendForward(encodeDyck(dyckState{}.apply(n.letter)))}, nil
-}
-
-// Receive implements ring.Node.
-func (n *dyckNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	s, err := decodeDyck(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
-		if !s.failed && s.depth == 0 {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	return []ring.Send{ring.SendForward(encodeDyck(s.apply(n.letter)))}, nil
+// NewBalancedCounter builds the depth-counter recognizer for the Dyck
+// language.
+func NewBalancedCounter() *BalancedCounter {
+	return &BalancedCounter{TokenRecognizer: mustTokenRecognizer(TokenAlgo[dyckState]{
+		AlgoName: "balanced-counter",
+		Language: lang.NewDyck(),
+		CheckLetter: func(letter lang.Letter) error {
+			if letter != '(' && letter != ')' {
+				return fmt.Errorf("letter %q outside {(,)}", letter)
+			}
+			return nil
+		},
+		Passes: []TokenPass[dyckState]{{
+			Fold: func(s dyckState, letter lang.Letter) (dyckState, error) {
+				switch {
+				case s.failed:
+				case letter == '(':
+					s.depth++
+				case s.depth == 0:
+					s.failed = true
+				default:
+					s.depth--
+				}
+				return s, nil
+			},
+			Encode: func(w *bits.Writer, s dyckState) {
+				w.WriteBool(s.failed)
+				w.WriteDeltaValue(s.depth)
+			},
+			Decode: func(r *bits.Reader) (dyckState, error) {
+				var s dyckState
+				var err error
+				if s.failed, err = r.ReadBool(); err != nil {
+					return s, fmt.Errorf("decode flag: %w", err)
+				}
+				if s.depth, err = r.ReadDeltaValue(); err != nil {
+					return s, fmt.Errorf("decode depth: %w", err)
+				}
+				return s, nil
+			},
+		}},
+		Verdict: func(s dyckState) bool { return !s.failed && s.depth == 0 },
+	})}
 }

@@ -1,0 +1,177 @@
+package core
+
+// Golden test pinning the exact bit accounting of every single-token
+// recognizer. The goldens were recorded from the pre-framework (hand-written)
+// implementations, so the declarative token-pass ports are provably
+// byte-identical: verdict, total bits, total messages, max message size and
+// the full per-link traffic must all match, word for word.
+//
+// Regenerate (only when an algorithm's wire format is deliberately changed)
+// with:
+//
+//	RINGLANG_UPDATE_GOLDENS=1 go test ./internal/core -run TestTokenRecognizerGoldens
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// goldenRun is the recorded accounting of one recognizer on one word.
+type goldenRun struct {
+	Algorithm string           `json:"algorithm"`
+	Language  string           `json:"language"`
+	Word      string           `json:"word"`
+	Verdict   string           `json:"verdict"`
+	Messages  int              `json:"messages"`
+	Bits      int              `json:"bits"`
+	MaxMsg    int              `json:"max_message_bits"`
+	Links     []ring.LinkStats `json:"links"`
+}
+
+// goldenKey identifies one run in error messages.
+func (g goldenRun) key() string {
+	return fmt.Sprintf("%s/%s/%q", g.Algorithm, g.Language, g.Word)
+}
+
+// goldenRecognizers returns every single-token recognizer covered by the
+// goldens, in a fixed order. It must be deterministic: the golden file is
+// keyed by position as well as by name.
+func goldenRecognizers(t testing.TB) []Recognizer {
+	t.Helper()
+	regs, err := lang.StandardRegularLanguages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity2, err := lang.NewParityIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity3, err := lang.NewParityIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Recognizer{
+		NewSquareCount(),
+		NewCountWithCoding(lang.NewPerfectSquareLength(), CodingGamma),
+		NewCountWithCoding(lang.NewPerfectSquareLength(), CodingUnary),
+		NewCountBackward(lang.NewPerfectSquareLength()),
+		NewThreeCounters(),
+		NewMajority(),
+		NewBalancedCounter(),
+		NewCompareWcW(),
+		NewCollectAll(lang.NewAnBnCn()),
+		NewCollectAll(lang.NewWcW()),
+		NewLgRecognizer(lang.NewLg(lang.GrowthNLogN)),
+		NewLgRecognizer(lang.NewLg(lang.GrowthN15)),
+		NewLgRecognizerKnownN(lang.NewLg(lang.GrowthN175)),
+		NewParityOnePass(parity2),
+		NewParityOnePass(parity3),
+		NewParityTwoPass(parity2),
+		NewParityTwoPass(parity3),
+	}
+	for _, reg := range regs {
+		recs = append(recs, NewRegularOnePass(reg))
+	}
+	return recs
+}
+
+// goldenWords derives a deterministic set of member and non-member words per
+// recognizer; the rng is re-seeded per recognizer so the set is stable under
+// reordering.
+func goldenWords(rec Recognizer) []lang.Word {
+	language := rec.Language()
+	rng := rand.New(rand.NewSource(int64(len(rec.Name()) + 7919)))
+	var words []lang.Word
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 21, 34} {
+		if w, ok := language.GenerateMember(n, rng); ok && len(w) == n && n > 0 {
+			words = append(words, w)
+		}
+		if w, ok := language.GenerateNonMember(n, rng); ok && len(w) == n && n > 0 {
+			words = append(words, w)
+		}
+	}
+	return words
+}
+
+const goldenPath = "testdata/token_goldens.json"
+
+func recordGoldens(t testing.TB) []goldenRun {
+	t.Helper()
+	var out []goldenRun
+	for _, rec := range goldenRecognizers(t) {
+		for _, word := range goldenWords(rec) {
+			res, err := Run(rec, word, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s on %q: %v", rec.Name(), word.String(), err)
+			}
+			out = append(out, goldenRun{
+				Algorithm: rec.Name(),
+				Language:  rec.Language().Name(),
+				Word:      word.String(),
+				Verdict:   res.Verdict.String(),
+				Messages:  res.Stats.Messages,
+				Bits:      res.Stats.Bits,
+				MaxMsg:    res.Stats.MaxMessageBits,
+				Links:     res.Stats.Links(),
+			})
+		}
+	}
+	return out
+}
+
+func TestTokenRecognizerGoldens(t *testing.T) {
+	got := recordGoldens(t)
+	if os.Getenv("RINGLANG_UPDATE_GOLDENS") != "" {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden runs to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with RINGLANG_UPDATE_GOLDENS=1): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden set has %d runs, recorded file has %d — recognizer set drifted", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.key() != w.key() {
+			t.Fatalf("run %d is %s, golden is %s — recognizer or word set drifted", i, g.key(), w.key())
+		}
+		if g.Verdict != w.Verdict || g.Bits != w.Bits || g.Messages != w.Messages || g.MaxMsg != w.MaxMsg {
+			t.Errorf("%s: got verdict=%s bits=%d msgs=%d max=%d, golden verdict=%s bits=%d msgs=%d max=%d",
+				g.key(), g.Verdict, g.Bits, g.Messages, g.MaxMsg, w.Verdict, w.Bits, w.Messages, w.MaxMsg)
+			continue
+		}
+		if len(g.Links) != len(w.Links) {
+			t.Errorf("%s: got %d active links, golden has %d", g.key(), len(g.Links), len(w.Links))
+			continue
+		}
+		for j := range g.Links {
+			if g.Links[j] != w.Links[j] {
+				t.Errorf("%s: link %d got %+v, golden %+v", g.key(), j, g.Links[j], w.Links[j])
+			}
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // LgRecognizer recognizes the L_g hierarchy languages of Section 7 note 3.
@@ -22,181 +21,143 @@ import (
 // when n is known the n log n term disappears and the whole hierarchy
 // Θ(g(n)), n ≤ g(n) ≤ n², is realized with no gap.
 type LgRecognizer struct {
+	*TokenRecognizer[lgState]
 	language *lang.Lg
 	knownN   bool
 }
 
 var _ Recognizer = (*LgRecognizer)(nil)
 
-// NewLgRecognizer builds the two-pass (unknown n) recognizer.
-func NewLgRecognizer(language *lang.Lg) *LgRecognizer {
-	return &LgRecognizer{language: language}
-}
-
-// NewLgRecognizerKnownN builds the one-pass variant in which every node is
-// constructed already knowing n (note 4 of Section 7).
-func NewLgRecognizerKnownN(language *lang.Lg) *LgRecognizer {
-	return &LgRecognizer{language: language, knownN: true}
-}
-
-// Name implements Recognizer.
-func (l *LgRecognizer) Name() string {
-	if l.knownN {
-		return "lg-known-n"
-	}
-	return "lg"
-}
-
-// Language implements Recognizer.
-func (l *LgRecognizer) Language() lang.Language { return l.language }
-
-// Mode implements Recognizer.
-func (l *LgRecognizer) Mode() ring.Mode { return ring.Unidirectional }
-
-// KnownN reports whether the counting pass is skipped.
-func (l *LgRecognizer) KnownN() bool { return l.knownN }
-
-// NewNodes implements Recognizer.
-func (l *LgRecognizer) NewNodes(word lang.Word) ([]ring.Node, error) {
-	alphabet := l.language.Alphabet()
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if !alphabet.Contains(letter) {
-			return nil, fmt.Errorf("lg: letter %q outside the alphabet", letter)
-		}
-		node := &lgNode{algo: l, letter: letter, leader: i == ring.LeaderIndex}
-		if l.knownN {
-			node.knownN = len(word)
-		}
-		nodes[i] = node
-	}
-	return nodes, nil
-}
-
-// lgWindow is the decoded comparison-pass message.
-type lgWindow struct {
+// lgState is the union of the two passes' wire states: the counting pass uses
+// only count; the comparison pass carries the validity flag, the period and
+// the sliding window of the p(n) most recent letters.
+type lgState struct {
+	count  uint64
 	ok     bool
 	period uint64
 	window []lang.Letter
 }
 
-func encodeLgWindow(s lgWindow) bits.String {
-	var w bits.Writer
-	w.WriteBool(s.ok)
-	w.WriteDeltaValue(s.period)
-	w.WriteDeltaValue(uint64(len(s.window)))
-	for _, l := range s.window {
-		w.WriteBool(l == 'b')
+// lgCountingPass is the δ-coded counting circulation.
+func lgCountingPass() TokenPass[lgState] {
+	return TokenPass[lgState]{
+		Fold: func(s lgState, _ lang.Letter) (lgState, error) {
+			s.count++
+			return s, nil
+		},
+		Encode: func(w *bits.Writer, s lgState) { w.WriteDeltaValue(s.count) },
+		Decode: func(r *bits.Reader) (lgState, error) {
+			var s lgState
+			var err error
+			if s.count, err = r.ReadDeltaValue(); err != nil {
+				return s, fmt.Errorf("decode counter: %w", err)
+			}
+			return s, nil
+		},
 	}
-	return w.String()
 }
 
-func decodeLgWindow(payload bits.String) (lgWindow, error) {
-	r := bits.NewReader(payload)
-	var s lgWindow
-	var err error
-	if s.ok, err = r.ReadBool(); err != nil {
-		return s, fmt.Errorf("lg: decode ok flag: %w", err)
+// lgComparisonPass is the sliding-window circulation. ringSize reports the
+// ring size the pass should compare against: the counting pass's result in
+// the unknown-n variant, the construction-time size in the known-n one.
+func lgComparisonPass(language *lang.Lg, ringSize func(prev lgState, constructionN int) int) TokenPass[lgState] {
+	return TokenPass[lgState]{
+		Begin: func(prev lgState, constructionN int) (lgState, error) {
+			period := language.Period(ringSize(prev, constructionN))
+			return lgState{ok: true, period: uint64(period)}, nil
+		},
+		// Fold slides the letter into the window, comparing it with the letter
+		// period positions back once the window is full.
+		Fold: func(s lgState, letter lang.Letter) (lgState, error) {
+			if uint64(len(s.window)) == s.period {
+				if s.window[0] != letter {
+					s.ok = false
+				}
+				s.window = s.window[1:]
+			}
+			s.window = append(s.window, letter)
+			return s, nil
+		},
+		Encode: func(w *bits.Writer, s lgState) {
+			w.WriteBool(s.ok)
+			w.WriteDeltaValue(s.period)
+			w.WriteDeltaValue(uint64(len(s.window)))
+			for _, l := range s.window {
+				w.WriteBool(l == 'b')
+			}
+		},
+		Decode: func(r *bits.Reader) (lgState, error) {
+			var s lgState
+			var err error
+			if s.ok, err = r.ReadBool(); err != nil {
+				return s, fmt.Errorf("decode ok flag: %w", err)
+			}
+			if s.period, err = r.ReadDeltaValue(); err != nil {
+				return s, fmt.Errorf("decode period: %w", err)
+			}
+			count, err := r.ReadDeltaValue()
+			if err != nil {
+				return s, fmt.Errorf("decode window length: %w", err)
+			}
+			s.window = make([]lang.Letter, 0, count)
+			for i := uint64(0); i < count; i++ {
+				isB, err := r.ReadBool()
+				if err != nil {
+					return s, fmt.Errorf("decode window letter %d: %w", i, err)
+				}
+				if isB {
+					s.window = append(s.window, 'b')
+				} else {
+					s.window = append(s.window, 'a')
+				}
+			}
+			return s, nil
+		},
 	}
-	if s.period, err = r.ReadDeltaValue(); err != nil {
-		return s, fmt.Errorf("lg: decode period: %w", err)
-	}
-	count, err := r.ReadDeltaValue()
-	if err != nil {
-		return s, fmt.Errorf("lg: decode window length: %w", err)
-	}
-	s.window = make([]lang.Letter, 0, count)
-	for i := uint64(0); i < count; i++ {
-		isB, err := r.ReadBool()
-		if err != nil {
-			return s, fmt.Errorf("lg: decode window letter %d: %w", i, err)
+}
+
+// newLgRecognizer assembles the pass list for either variant.
+func newLgRecognizer(language *lang.Lg, knownN bool) *LgRecognizer {
+	name := "lg"
+	var passes []TokenPass[lgState]
+	if knownN {
+		name = "lg-known-n"
+		// One pass; the period comes from the construction-time ring size
+		// (note 4's "every processor knows n").
+		passes = []TokenPass[lgState]{
+			lgComparisonPass(language, func(_ lgState, constructionN int) int { return constructionN }),
 		}
-		if isB {
-			s.window = append(s.window, 'b')
-		} else {
-			s.window = append(s.window, 'a')
+	} else {
+		// Counting pass first; its result is the n the comparison pass uses.
+		passes = []TokenPass[lgState]{
+			lgCountingPass(),
+			lgComparisonPass(language, func(prev lgState, _ int) int { return int(prev.count) }),
 		}
 	}
-	return s, nil
+	return &LgRecognizer{
+		TokenRecognizer: mustTokenRecognizer(TokenAlgo[lgState]{
+			AlgoName: name,
+			Language: language,
+			Passes:   passes,
+			// The comparison pass returned: every processor from position p(n)
+			// onward has checked its letter against the one p(n) positions back.
+			Verdict: func(s lgState) bool { return s.ok },
+		}),
+		language: language,
+		knownN:   knownN,
+	}
 }
 
-// apply folds one letter into the sliding window, comparing it with the
-// letter period positions back when the window is full.
-func (s lgWindow) apply(letter lang.Letter) lgWindow {
-	out := lgWindow{ok: s.ok, period: s.period, window: append([]lang.Letter(nil), s.window...)}
-	if uint64(len(out.window)) == out.period {
-		if out.window[0] != letter {
-			out.ok = false
-		}
-		out.window = out.window[1:]
-	}
-	out.window = append(out.window, letter)
-	return out
+// NewLgRecognizer builds the two-pass (unknown n) recognizer.
+func NewLgRecognizer(language *lang.Lg) *LgRecognizer {
+	return newLgRecognizer(language, false)
 }
 
-// lgNode is the per-processor logic of the L_g recognizer.
-type lgNode struct {
-	algo   *LgRecognizer
-	letter lang.Letter
-	leader bool
-	// knownN is the ring size when the recognizer runs in known-n mode, zero
-	// otherwise.
-	knownN int
-	// passesSeen counts the messages this node has handled, which tells it
-	// whether an incoming message belongs to the counting or comparison pass.
-	passesSeen int
+// NewLgRecognizerKnownN builds the one-pass variant in which every node is
+// constructed already knowing n (note 4 of Section 7).
+func NewLgRecognizerKnownN(language *lang.Lg) *LgRecognizer {
+	return newLgRecognizer(language, true)
 }
 
-// startComparisonPass builds the leader's first comparison-pass message for a
-// ring of size n.
-func (n *lgNode) startComparisonPass(ringSize int) []ring.Send {
-	period := n.algo.language.Period(ringSize)
-	initial := lgWindow{ok: true, period: uint64(period), window: []lang.Letter{n.letter}}
-	return []ring.Send{ring.SendForward(encodeLgWindow(initial))}
-}
-
-// Start implements ring.Node.
-func (n *lgNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	if n.algo.knownN {
-		return n.startComparisonPass(n.knownN), nil
-	}
-	var w bits.Writer
-	w.WriteDeltaValue(1)
-	return []ring.Send{ring.SendForward(w.String())}, nil
-}
-
-// Receive implements ring.Node.
-func (n *lgNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	n.passesSeen++
-	countingPass := !n.algo.knownN && n.passesSeen == 1
-	if countingPass {
-		v, err := bits.NewReader(payload).ReadDeltaValue()
-		if err != nil {
-			return nil, fmt.Errorf("lg: decode counter: %w", err)
-		}
-		if ctx.IsLeader() {
-			// Counting pass complete: v == n. Launch the comparison pass.
-			return n.startComparisonPass(int(v)), nil
-		}
-		var w bits.Writer
-		w.WriteDeltaValue(v + 1)
-		return []ring.Send{ring.SendForward(w.String())}, nil
-	}
-
-	s, err := decodeLgWindow(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
-		// The comparison pass returned: every processor from position p(n)
-		// onward has checked its letter against the one p(n) positions back.
-		if s.ok {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	return []ring.Send{ring.SendForward(encodeLgWindow(s.apply(n.letter)))}, nil
-}
+// KnownN reports whether the counting pass is skipped.
+func (l *LgRecognizer) KnownN() bool { return l.knownN }

@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // The two recognizers in this file reproduce Section 7 note 5: the regular
@@ -20,146 +19,92 @@ import (
 //
 // The crossover between the two is the paper's bits-versus-passes trade-off.
 
+// parityCheckLetter validates membership in the 2ᵏ-letter alphabet.
+func parityCheckLetter(language *lang.ParityIndex) func(lang.Letter) error {
+	return func(letter lang.Letter) error {
+		if language.LetterIndex(letter) < 0 {
+			return fmt.Errorf("letter %q outside the alphabet", letter)
+		}
+		return nil
+	}
+}
+
+// parityTwoPassState is the union of the two passes' wire states: pass 1 uses
+// only count; pass 2 uses target and parity.
+type parityTwoPassState struct {
+	count  uint64
+	target uint64
+	parity bool
+}
+
 // ParityTwoPass is the (2k+1)·n-bit, two-pass recognizer.
 type ParityTwoPass struct {
-	language *lang.ParityIndex
+	*TokenRecognizer[parityTwoPassState]
 }
 
 var _ Recognizer = (*ParityTwoPass)(nil)
 
 // NewParityTwoPass builds the two-pass recognizer.
 func NewParityTwoPass(language *lang.ParityIndex) *ParityTwoPass {
-	return &ParityTwoPass{language: language}
+	k := language.K()
+	mod := uint64(language.Modulus())
+	return &ParityTwoPass{TokenRecognizer: mustTokenRecognizer(TokenAlgo[parityTwoPassState]{
+		AlgoName:    "parity-two-pass",
+		Language:    language,
+		CheckLetter: parityCheckLetter(language),
+		Passes: []TokenPass[parityTwoPassState]{
+			{
+				// Pass 1 counts the ring length mod 2ᵏ−1 in k bits per message.
+				Fold: func(s parityTwoPassState, _ lang.Letter) (parityTwoPassState, error) {
+					s.count = (s.count + 1) % mod
+					return s, nil
+				},
+				Encode: func(w *bits.Writer, s parityTwoPassState) {
+					w.WriteUint(s.count, k)
+				},
+				Decode: func(r *bits.Reader) (parityTwoPassState, error) {
+					var s parityTwoPassState
+					var err error
+					if s.count, err = r.ReadUint(k); err != nil {
+						return s, fmt.Errorf("decode counter: %w", err)
+					}
+					return s, nil
+				},
+			},
+			{
+				// Pass 2 carries the now-known target index n mod (2ᵏ−1) plus
+				// the running parity of that letter's occurrences.
+				Begin: func(prev parityTwoPassState, _ int) (parityTwoPassState, error) {
+					return parityTwoPassState{target: prev.count}, nil
+				},
+				Fold: func(s parityTwoPassState, letter lang.Letter) (parityTwoPassState, error) {
+					if language.LetterIndex(letter) == int(s.target) {
+						s.parity = !s.parity
+					}
+					return s, nil
+				},
+				Encode: func(w *bits.Writer, s parityTwoPassState) {
+					w.WriteUint(s.target, k)
+					w.WriteBool(s.parity)
+				},
+				Decode: func(r *bits.Reader) (parityTwoPassState, error) {
+					var s parityTwoPassState
+					var err error
+					if s.target, err = r.ReadUint(k); err != nil {
+						return s, fmt.Errorf("decode target: %w", err)
+					}
+					if s.parity, err = r.ReadBool(); err != nil {
+						return s, fmt.Errorf("decode parity: %w", err)
+					}
+					return s, nil
+				},
+			},
+		},
+		Verdict: func(s parityTwoPassState) bool { return !s.parity },
+	})}
 }
 
-// Name implements Recognizer.
-func (p *ParityTwoPass) Name() string { return "parity-two-pass" }
-
-// Language implements Recognizer.
-func (p *ParityTwoPass) Language() lang.Language { return p.language }
-
-// Mode implements Recognizer.
-func (p *ParityTwoPass) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (p *ParityTwoPass) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		idx := p.language.LetterIndex(letter)
-		if idx < 0 {
-			return nil, fmt.Errorf("parity-two-pass: letter %q outside the alphabet", letter)
-		}
-		nodes[i] = &parityTwoPassNode{algo: p, letterIdx: idx, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// parityTwoPassNode is the per-processor logic of the two-pass algorithm.
-type parityTwoPassNode struct {
-	algo      *ParityTwoPass
-	letterIdx int
-	leader    bool
-	pass      int
-}
-
-// kBits returns k, the width of the modular counter.
-func (p *ParityTwoPass) kBits() int { return p.language.K() }
-
-// Start implements ring.Node: pass 1 counts the ring length mod 2ᵏ−1,
-// starting from the leader's own contribution of 1.
-func (n *parityTwoPassNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	var w bits.Writer
-	w.WriteUint(1%uint64(n.algo.language.Modulus()), n.algo.kBits())
-	return []ring.Send{ring.SendForward(w.String())}, nil
-}
-
-// Receive implements ring.Node.
-func (n *parityTwoPassNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	n.pass++
-	k := n.algo.kBits()
-	mod := uint64(n.algo.language.Modulus())
-	r := bits.NewReader(payload)
-	if n.pass == 1 {
-		count, err := r.ReadUint(k)
-		if err != nil {
-			return nil, fmt.Errorf("parity-two-pass: decode counter: %w", err)
-		}
-		if ctx.IsLeader() {
-			// count == n mod (2ᵏ−1); start pass 2 with the leader's parity
-			// contribution folded in.
-			target := count
-			parity := n.letterIdx == int(target)
-			var w bits.Writer
-			w.WriteUint(target, k)
-			w.WriteBool(parity)
-			return []ring.Send{ring.SendForward(w.String())}, nil
-		}
-		var w bits.Writer
-		w.WriteUint((count+1)%mod, k)
-		return []ring.Send{ring.SendForward(w.String())}, nil
-	}
-
-	target, err := r.ReadUint(k)
-	if err != nil {
-		return nil, fmt.Errorf("parity-two-pass: decode target: %w", err)
-	}
-	parity, err := r.ReadBool()
-	if err != nil {
-		return nil, fmt.Errorf("parity-two-pass: decode parity: %w", err)
-	}
-	if ctx.IsLeader() {
-		if !parity {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	if n.letterIdx == int(target) {
-		parity = !parity
-	}
-	var w bits.Writer
-	w.WriteUint(target, k)
-	w.WriteBool(parity)
-	return []ring.Send{ring.SendForward(w.String())}, nil
-}
-
-// ParityOnePass is the (k + 2ᵏ−1)·n-bit, single-pass recognizer.
-type ParityOnePass struct {
-	language *lang.ParityIndex
-}
-
-var _ Recognizer = (*ParityOnePass)(nil)
-
-// NewParityOnePass builds the one-pass recognizer.
-func NewParityOnePass(language *lang.ParityIndex) *ParityOnePass {
-	return &ParityOnePass{language: language}
-}
-
-// Name implements Recognizer.
-func (p *ParityOnePass) Name() string { return "parity-one-pass" }
-
-// Language implements Recognizer.
-func (p *ParityOnePass) Language() lang.Language { return p.language }
-
-// Mode implements Recognizer.
-func (p *ParityOnePass) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (p *ParityOnePass) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		idx := p.language.LetterIndex(letter)
-		if idx < 0 {
-			return nil, fmt.Errorf("parity-one-pass: letter %q outside the alphabet", letter)
-		}
-		nodes[i] = &parityOnePassNode{algo: p, letterIdx: idx, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// parityOnePassState is the decoded one-pass message: the length counter mod
+// parityOnePassState is the one-pass token state: the length counter mod
 // 2ᵏ−1 plus one parity bit for each of the 2ᵏ−1 candidate target letters
 // (σ_{2ᵏ−1} can never be the target because the modulus is 2ᵏ−1).
 type parityOnePassState struct {
@@ -167,73 +112,55 @@ type parityOnePassState struct {
 	parities []bool
 }
 
-func (p *ParityOnePass) encode(s parityOnePassState) bits.String {
-	var w bits.Writer
-	w.WriteUint(s.count, p.language.K())
-	for _, b := range s.parities {
-		w.WriteBool(b)
-	}
-	return w.String()
+// ParityOnePass is the (k + 2ᵏ−1)·n-bit, single-pass recognizer.
+type ParityOnePass struct {
+	*TokenRecognizer[parityOnePassState]
 }
 
-func (p *ParityOnePass) decode(payload bits.String) (parityOnePassState, error) {
-	r := bits.NewReader(payload)
-	var s parityOnePassState
-	var err error
-	if s.count, err = r.ReadUint(p.language.K()); err != nil {
-		return s, fmt.Errorf("parity-one-pass: decode counter: %w", err)
-	}
-	s.parities = make([]bool, p.language.Modulus())
-	for i := range s.parities {
-		if s.parities[i], err = r.ReadBool(); err != nil {
-			return s, fmt.Errorf("parity-one-pass: decode parity %d: %w", i, err)
-		}
-	}
-	return s, nil
-}
+var _ Recognizer = (*ParityOnePass)(nil)
 
-// apply folds one processor's letter into the state.
-func (p *ParityOnePass) apply(s parityOnePassState, letterIdx int) parityOnePassState {
-	out := parityOnePassState{
-		count:    (s.count + 1) % uint64(p.language.Modulus()),
-		parities: append([]bool(nil), s.parities...),
-	}
-	if letterIdx < len(out.parities) {
-		out.parities[letterIdx] = !out.parities[letterIdx]
-	}
-	return out
-}
-
-// parityOnePassNode is the per-processor logic of the one-pass algorithm.
-type parityOnePassNode struct {
-	algo      *ParityOnePass
-	letterIdx int
-	leader    bool
-}
-
-// Start implements ring.Node.
-func (n *parityOnePassNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	initial := parityOnePassState{count: 0, parities: make([]bool, n.algo.language.Modulus())}
-	return []ring.Send{ring.SendForward(n.algo.encode(n.algo.apply(initial, n.letterIdx)))}, nil
-}
-
-// Receive implements ring.Node.
-func (n *parityOnePassNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	s, err := n.algo.decode(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
+// NewParityOnePass builds the one-pass recognizer.
+func NewParityOnePass(language *lang.ParityIndex) *ParityOnePass {
+	k := language.K()
+	mod := uint64(language.Modulus())
+	return &ParityOnePass{TokenRecognizer: mustTokenRecognizer(TokenAlgo[parityOnePassState]{
+		AlgoName:    "parity-one-pass",
+		Language:    language,
+		CheckLetter: parityCheckLetter(language),
+		Passes: []TokenPass[parityOnePassState]{{
+			Begin: func(parityOnePassState, int) (parityOnePassState, error) {
+				return parityOnePassState{parities: make([]bool, mod)}, nil
+			},
+			Fold: func(s parityOnePassState, letter lang.Letter) (parityOnePassState, error) {
+				s.count = (s.count + 1) % mod
+				if idx := language.LetterIndex(letter); idx < len(s.parities) {
+					s.parities[idx] = !s.parities[idx]
+				}
+				return s, nil
+			},
+			Encode: func(w *bits.Writer, s parityOnePassState) {
+				w.WriteUint(s.count, k)
+				for _, b := range s.parities {
+					w.WriteBool(b)
+				}
+			},
+			Decode: func(r *bits.Reader) (parityOnePassState, error) {
+				var s parityOnePassState
+				var err error
+				if s.count, err = r.ReadUint(k); err != nil {
+					return s, fmt.Errorf("decode counter: %w", err)
+				}
+				s.parities = make([]bool, mod)
+				for i := range s.parities {
+					if s.parities[i], err = r.ReadBool(); err != nil {
+						return s, fmt.Errorf("decode parity %d: %w", i, err)
+					}
+				}
+				return s, nil
+			},
+		}},
 		// count == n mod (2ᵏ−1); every processor (the leader included) has
 		// folded in its letter's parity.
-		target := int(s.count)
-		if !s.parities[target] {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	return []ring.Send{ring.SendForward(n.algo.encode(n.algo.apply(s, n.letterIdx)))}, nil
+		Verdict: func(s parityOnePassState) bool { return !s.parities[s.count] },
+	})}
 }

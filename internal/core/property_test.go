@@ -33,6 +33,7 @@ func allRecognizers(t *testing.T) []Recognizer {
 		NewSquareCount(),
 		NewCountBackward(lang.NewPerfectSquareLength()),
 		NewThreeCounters(),
+		NewMajority(),
 		NewBalancedCounter(),
 		NewCompareWcW(),
 		NewLgRecognizer(lang.NewLg(lang.GrowthN15)),

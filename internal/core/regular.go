@@ -6,7 +6,6 @@ import (
 	"ringlang/internal/automata"
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // RegularOnePass is the Theorem 1 algorithm: every processor holds a copy of
@@ -14,6 +13,7 @@ import (
 // after scanning the letters seen so far, encoded in ⌈log |Q|⌉ bits. One pass
 // around the ring decides membership, so BIT(n) = ⌈log |Q|⌉ · n = O(n).
 type RegularOnePass struct {
+	*TokenRecognizer[automata.State]
 	language *lang.Regular
 	dfa      *automata.DFA
 	// stateBits is ⌈log |Q|⌉, the fixed width of every message.
@@ -33,91 +33,50 @@ func NewRegularOnePass(language *lang.Regular) *RegularOnePass {
 // passing an unminimized automaton is how the minimization ablation measures
 // the effect of |Q| on the linear constant.
 func NewRegularOnePassWithDFA(language *lang.Regular, dfa *automata.DFA) *RegularOnePass {
+	stateBits := bits.UintWidth(uint64(dfa.NumStates - 1))
 	return &RegularOnePass{
+		TokenRecognizer: mustTokenRecognizer(TokenAlgo[automata.State]{
+			AlgoName: "regular-one-pass",
+			Language: language,
+			CheckLetter: func(letter lang.Letter) error {
+				if !dfa.HasSymbol(letter) {
+					return fmt.Errorf("letter %q outside the automaton alphabet", letter)
+				}
+				return nil
+			},
+			Passes: []TokenPass[automata.State]{{
+				// The token is the automaton state after the letters folded so
+				// far; the pass begins at the start state and each processor
+				// applies its own transition.
+				Begin: func(automata.State, int) (automata.State, error) { return dfa.Start, nil },
+				Fold: func(q automata.State, letter lang.Letter) (automata.State, error) {
+					next, ok := dfa.Step(q, letter)
+					if !ok {
+						return 0, fmt.Errorf("missing transition for %q", letter)
+					}
+					return next, nil
+				},
+				Encode: func(w *bits.Writer, q automata.State) {
+					w.WriteUint(uint64(q), stateBits)
+				},
+				Decode: func(r *bits.Reader) (automata.State, error) {
+					v, err := r.ReadUint(stateBits)
+					if err != nil {
+						return 0, fmt.Errorf("decode state: %w", err)
+					}
+					if int(v) >= dfa.NumStates {
+						return 0, fmt.Errorf("decoded state %d out of range", v)
+					}
+					return automata.State(v), nil
+				},
+			}},
+			Verdict: dfa.IsAccepting,
+		}),
 		language:  language,
 		dfa:       dfa,
-		stateBits: bits.UintWidth(uint64(dfa.NumStates - 1)),
+		stateBits: stateBits,
 	}
 }
-
-// Name implements Recognizer.
-func (r *RegularOnePass) Name() string { return "regular-one-pass" }
-
-// Language implements Recognizer.
-func (r *RegularOnePass) Language() lang.Language { return r.language }
-
-// Mode implements Recognizer.
-func (r *RegularOnePass) Mode() ring.Mode { return ring.Unidirectional }
 
 // StateBits returns the per-message width ⌈log |Q|⌉.
 func (r *RegularOnePass) StateBits() int { return r.stateBits }
-
-// NewNodes implements Recognizer.
-func (r *RegularOnePass) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if !r.dfa.HasSymbol(letter) {
-			return nil, fmt.Errorf("regular-one-pass: letter %q outside the automaton alphabet", letter)
-		}
-		nodes[i] = &regularNode{algo: r, letter: letter, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// regularNode is the per-processor logic of Theorem 1.
-type regularNode struct {
-	algo   *RegularOnePass
-	letter lang.Letter
-	leader bool
-}
-
-// encodeState writes a DFA state in the fixed ⌈log |Q|⌉ width.
-func (r *RegularOnePass) encodeState(q automata.State) bits.String {
-	var w bits.Writer
-	w.WriteUint(uint64(q), r.stateBits)
-	return w.String()
-}
-
-// decodeState reads a DFA state.
-func (r *RegularOnePass) decodeState(payload bits.String) (automata.State, error) {
-	v, err := bits.NewReader(payload).ReadUint(r.stateBits)
-	if err != nil {
-		return 0, fmt.Errorf("regular-one-pass: decode state: %w", err)
-	}
-	if int(v) >= r.dfa.NumStates {
-		return 0, fmt.Errorf("regular-one-pass: decoded state %d out of range", v)
-	}
-	return automata.State(v), nil
-}
-
-// Start implements ring.Node. The leader sends q₁ = δ(q₀, σ₁).
-func (n *regularNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	q, ok := n.algo.dfa.Step(n.algo.dfa.Start, n.letter)
-	if !ok {
-		return nil, fmt.Errorf("regular-one-pass: missing transition for %q", n.letter)
-	}
-	return []ring.Send{ring.SendForward(n.algo.encodeState(q))}, nil
-}
-
-// Receive implements ring.Node. A follower p_i sends q_i = δ(q_{i-1}, σ_i);
-// the leader receives q_n = δ(q₀, w) and decides.
-func (n *regularNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	q, err := n.algo.decodeState(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
-		if n.algo.dfa.IsAccepting(q) {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	next, ok := n.algo.dfa.Step(q, n.letter)
-	if !ok {
-		return nil, fmt.Errorf("regular-one-pass: missing transition for %q", n.letter)
-	}
-	return []ring.Send{ring.SendForward(n.algo.encodeState(next))}, nil
-}

@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // ThreeCounters recognizes {0ᵏ1ᵏ2ᵏ} (Section 7 note 2) in a single pass: the
@@ -15,113 +14,71 @@ import (
 // context-sensitive, non-context-free language recognized at the non-regular
 // lower bound.
 type ThreeCounters struct {
-	language *lang.AnBnCn
+	*TokenRecognizer[threeCountersState]
 }
 
 var _ Recognizer = (*ThreeCounters)(nil)
 
-// NewThreeCounters builds the three-counter recognizer.
-func NewThreeCounters() *ThreeCounters {
-	return &ThreeCounters{language: lang.NewAnBnCn()}
-}
-
-// Name implements Recognizer.
-func (t *ThreeCounters) Name() string { return "three-counters" }
-
-// Language implements Recognizer.
-func (t *ThreeCounters) Language() lang.Language { return t.language }
-
-// Mode implements Recognizer.
-func (t *ThreeCounters) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (t *ThreeCounters) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if letter != '0' && letter != '1' && letter != '2' {
-			return nil, fmt.Errorf("three-counters: letter %q outside {0,1,2}", letter)
-		}
-		nodes[i] = &threeCountersNode{letter: letter, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
-
-// threeCountersState is the decoded message of the three-counter pass.
+// threeCountersState is the token state of the three-counter pass.
 type threeCountersState struct {
 	valid  bool
 	phase  uint64 // highest letter value seen so far (0, 1, or 2)
 	counts [3]uint64
 }
 
-func encodeThreeCounters(s threeCountersState) bits.String {
-	var w bits.Writer
-	w.WriteBool(s.valid)
-	w.WriteUint(s.phase, 2)
-	for _, c := range s.counts {
-		w.WriteDeltaValue(c)
-	}
-	return w.String()
-}
-
-func decodeThreeCounters(payload bits.String) (threeCountersState, error) {
-	r := bits.NewReader(payload)
-	var s threeCountersState
-	var err error
-	if s.valid, err = r.ReadBool(); err != nil {
-		return s, fmt.Errorf("three-counters: decode valid flag: %w", err)
-	}
-	if s.phase, err = r.ReadUint(2); err != nil {
-		return s, fmt.Errorf("three-counters: decode phase: %w", err)
-	}
-	for i := range s.counts {
-		if s.counts[i], err = r.ReadDeltaValue(); err != nil {
-			return s, fmt.Errorf("three-counters: decode counter %d: %w", i, err)
-		}
-	}
-	return s, nil
-}
-
-// apply folds one letter into the state.
-func (s threeCountersState) apply(letter lang.Letter) threeCountersState {
-	idx := uint64(letter - '0')
-	out := s
-	out.counts[idx]++
-	if idx < s.phase {
-		out.valid = false
-	}
-	if idx > out.phase {
-		out.phase = idx
-	}
-	return out
-}
-
-// threeCountersNode is the per-processor logic.
-type threeCountersNode struct {
-	letter lang.Letter
-	leader bool
-}
-
-// Start implements ring.Node.
-func (n *threeCountersNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	initial := threeCountersState{valid: true}
-	return []ring.Send{ring.SendForward(encodeThreeCounters(initial.apply(n.letter)))}, nil
-}
-
-// Receive implements ring.Node.
-func (n *threeCountersNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	s, err := decodeThreeCounters(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
+// NewThreeCounters builds the three-counter recognizer.
+func NewThreeCounters() *ThreeCounters {
+	return &ThreeCounters{TokenRecognizer: mustTokenRecognizer(TokenAlgo[threeCountersState]{
+		AlgoName: "three-counters",
+		Language: lang.NewAnBnCn(),
+		CheckLetter: func(letter lang.Letter) error {
+			if letter != '0' && letter != '1' && letter != '2' {
+				return fmt.Errorf("letter %q outside {0,1,2}", letter)
+			}
+			return nil
+		},
+		Passes: []TokenPass[threeCountersState]{{
+			Begin: func(threeCountersState, int) (threeCountersState, error) {
+				return threeCountersState{valid: true}, nil
+			},
+			Fold: func(s threeCountersState, letter lang.Letter) (threeCountersState, error) {
+				idx := uint64(letter - '0')
+				s.counts[idx]++
+				if idx < s.phase {
+					s.valid = false
+				}
+				if idx > s.phase {
+					s.phase = idx
+				}
+				return s, nil
+			},
+			Encode: func(w *bits.Writer, s threeCountersState) {
+				w.WriteBool(s.valid)
+				w.WriteUint(s.phase, 2)
+				for _, c := range s.counts {
+					w.WriteDeltaValue(c)
+				}
+			},
+			Decode: func(r *bits.Reader) (threeCountersState, error) {
+				var s threeCountersState
+				var err error
+				if s.valid, err = r.ReadBool(); err != nil {
+					return s, fmt.Errorf("decode valid flag: %w", err)
+				}
+				if s.phase, err = r.ReadUint(2); err != nil {
+					return s, fmt.Errorf("decode phase: %w", err)
+				}
+				for i := range s.counts {
+					if s.counts[i], err = r.ReadDeltaValue(); err != nil {
+						return s, fmt.Errorf("decode counter %d: %w", i, err)
+					}
+				}
+				return s, nil
+			},
+		}},
 		// Every processor, the leader included, has folded in its letter.
-		if s.valid && s.counts[0] == s.counts[1] && s.counts[1] == s.counts[2] {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	return []ring.Send{ring.SendForward(encodeThreeCounters(s.apply(n.letter)))}, nil
+		Verdict: func(s threeCountersState) bool {
+			return s.valid && s.counts[0] == s.counts[1] && s.counts[1] == s.counts[2]
+		},
+	})}
 }

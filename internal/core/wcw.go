@@ -5,7 +5,6 @@ import (
 
 	"ringlang/internal/bits"
 	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 // CompareWcW recognizes the linear language {w c w : w ∈ {a,b}*} from
@@ -16,36 +15,10 @@ import (
 // letters, and the total is Θ(n²) bits — the paper's lower bound for this
 // language, met with a ~4× smaller constant than the collect-all baseline.
 type CompareWcW struct {
-	language *lang.WcW
+	*TokenRecognizer[wcwState]
 }
 
 var _ Recognizer = (*CompareWcW)(nil)
-
-// NewCompareWcW builds the streaming comparison recognizer for {wcw}.
-func NewCompareWcW() *CompareWcW {
-	return &CompareWcW{language: lang.NewWcW()}
-}
-
-// Name implements Recognizer.
-func (c *CompareWcW) Name() string { return "compare-wcw" }
-
-// Language implements Recognizer.
-func (c *CompareWcW) Language() lang.Language { return c.language }
-
-// Mode implements Recognizer.
-func (c *CompareWcW) Mode() ring.Mode { return ring.Unidirectional }
-
-// NewNodes implements Recognizer.
-func (c *CompareWcW) NewNodes(word lang.Word) ([]ring.Node, error) {
-	nodes := make([]ring.Node, len(word))
-	for i, letter := range word {
-		if letter != 'a' && letter != 'b' && letter != 'c' {
-			return nil, fmt.Errorf("compare-wcw: letter %q outside {a,b,c}", letter)
-		}
-		nodes[i] = &wcwNode{letter: letter, leader: i == ring.LeaderIndex}
-	}
-	return nodes, nil
-}
 
 // wcwPhase is the phase field of the streaming comparison message.
 type wcwPhase uint64
@@ -56,103 +29,84 @@ const (
 	wcwFailed       wcwPhase = 2
 )
 
-// wcwState is the decoded message: the phase plus the queue of letters of the
+// wcwState is the token state: the phase plus the queue of letters of the
 // first half that have not yet been matched (front first).
 type wcwState struct {
 	phase wcwPhase
 	queue []lang.Letter
 }
 
-func encodeWcW(s wcwState) bits.String {
-	var w bits.Writer
-	w.WriteUint(uint64(s.phase), 2)
-	w.WriteDeltaValue(uint64(len(s.queue)))
-	for _, l := range s.queue {
-		w.WriteBool(l == 'b')
-	}
-	return w.String()
-}
-
-func decodeWcW(payload bits.String) (wcwState, error) {
-	r := bits.NewReader(payload)
-	var s wcwState
-	phase, err := r.ReadUint(2)
-	if err != nil {
-		return s, fmt.Errorf("compare-wcw: decode phase: %w", err)
-	}
-	s.phase = wcwPhase(phase)
-	count, err := r.ReadDeltaValue()
-	if err != nil {
-		return s, fmt.Errorf("compare-wcw: decode queue length: %w", err)
-	}
-	s.queue = make([]lang.Letter, 0, count)
-	for i := uint64(0); i < count; i++ {
-		isB, err := r.ReadBool()
-		if err != nil {
-			return s, fmt.Errorf("compare-wcw: decode queue letter %d: %w", i, err)
-		}
-		if isB {
-			s.queue = append(s.queue, 'b')
-		} else {
-			s.queue = append(s.queue, 'a')
-		}
-	}
-	return s, nil
-}
-
-// apply folds one processor's letter into the state.
-func (s wcwState) apply(letter lang.Letter) wcwState {
-	out := wcwState{phase: s.phase, queue: append([]lang.Letter(nil), s.queue...)}
-	switch s.phase {
-	case wcwFailed:
-		// Keep relaying the failure; drop the queue so failure messages are
-		// cheap.
-		out.queue = nil
-	case wcwBeforeCentre:
-		if letter == 'c' {
-			out.phase = wcwAfterCentre
-		} else {
-			out.queue = append(out.queue, letter)
-		}
-	case wcwAfterCentre:
-		if letter == 'c' || len(out.queue) == 0 || out.queue[0] != letter {
-			out.phase = wcwFailed
-			out.queue = nil
-		} else {
-			out.queue = out.queue[1:]
-		}
-	}
-	return out
-}
-
-// wcwNode is the per-processor logic.
-type wcwNode struct {
-	letter lang.Letter
-	leader bool
-}
-
-// Start implements ring.Node: the leader folds in its own letter σ₁ first.
-func (n *wcwNode) Start(ctx *ring.Context) ([]ring.Send, error) {
-	if !ctx.IsLeader() {
-		return nil, nil
-	}
-	initial := wcwState{phase: wcwBeforeCentre}
-	return []ring.Send{ring.SendForward(encodeWcW(initial.apply(n.letter)))}, nil
-}
-
-// Receive implements ring.Node.
-func (n *wcwNode) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
-	s, err := decodeWcW(payload)
-	if err != nil {
-		return nil, err
-	}
-	if ctx.IsLeader() {
+// NewCompareWcW builds the streaming comparison recognizer for {wcw}.
+func NewCompareWcW() *CompareWcW {
+	return &CompareWcW{TokenRecognizer: mustTokenRecognizer(TokenAlgo[wcwState]{
+		AlgoName: "compare-wcw",
+		Language: lang.NewWcW(),
+		CheckLetter: func(letter lang.Letter) error {
+			if letter != 'a' && letter != 'b' && letter != 'c' {
+				return fmt.Errorf("letter %q outside {a,b,c}", letter)
+			}
+			return nil
+		},
+		Passes: []TokenPass[wcwState]{{
+			Fold: func(s wcwState, letter lang.Letter) (wcwState, error) {
+				switch s.phase {
+				case wcwFailed:
+					// Keep relaying the failure; drop the queue so failure
+					// messages are cheap.
+					s.queue = nil
+				case wcwBeforeCentre:
+					if letter == 'c' {
+						s.phase = wcwAfterCentre
+					} else {
+						s.queue = append(s.queue, letter)
+					}
+				case wcwAfterCentre:
+					if letter == 'c' || len(s.queue) == 0 || s.queue[0] != letter {
+						s.phase = wcwFailed
+						s.queue = nil
+					} else {
+						s.queue = s.queue[1:]
+					}
+				}
+				return s, nil
+			},
+			Encode: func(w *bits.Writer, s wcwState) {
+				w.WriteUint(uint64(s.phase), 2)
+				w.WriteDeltaValue(uint64(len(s.queue)))
+				for _, l := range s.queue {
+					w.WriteBool(l == 'b')
+				}
+			},
+			Decode: func(r *bits.Reader) (wcwState, error) {
+				var s wcwState
+				phase, err := r.ReadUint(2)
+				if err != nil {
+					return s, fmt.Errorf("decode phase: %w", err)
+				}
+				s.phase = wcwPhase(phase)
+				count, err := r.ReadDeltaValue()
+				if err != nil {
+					return s, fmt.Errorf("decode queue length: %w", err)
+				}
+				s.queue = make([]lang.Letter, 0, count)
+				for i := uint64(0); i < count; i++ {
+					isB, err := r.ReadBool()
+					if err != nil {
+						return s, fmt.Errorf("decode queue letter %d: %w", i, err)
+					}
+					if isB {
+						s.queue = append(s.queue, 'b')
+					} else {
+						s.queue = append(s.queue, 'a')
+					}
+				}
+				return s, nil
+			},
+		}},
 		// Accept iff the centre was seen, nothing is left to match and no
 		// mismatch occurred.
-		if s.phase == wcwAfterCentre && len(s.queue) == 0 {
-			return nil, ctx.Accept()
-		}
-		return nil, ctx.Reject()
-	}
-	return []ring.Send{ring.SendForward(encodeWcW(s.apply(n.letter)))}, nil
+		Verdict: func(s wcwState) bool {
+			return s.phase == wcwAfterCentre && len(s.queue) == 0
+		},
+	})}
 }

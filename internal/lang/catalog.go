@@ -81,6 +81,8 @@ func ByName(name string) (Language, error) {
 		return NewAnBn(), nil
 	case "dyck":
 		return NewDyck(), nil
+	case "majority":
+		return NewMajority(), nil
 	case "palindrome":
 		return NewPalindrome(), nil
 	case "length-is-square":
@@ -106,7 +108,7 @@ func ByName(name string) (Language, error) {
 
 // CatalogNames lists every language name resolvable by ByName.
 func CatalogNames() []string {
-	names := []string{"wcw", "anbncn", "anbn", "dyck", "palindrome", "length-is-square"}
+	names := []string{"wcw", "anbncn", "anbn", "dyck", "majority", "palindrome", "length-is-square"}
 	for _, g := range StandardGrowthFuncs() {
 		names = append(names, NewLg(g).Name())
 	}

@@ -1,0 +1,79 @@
+package lang
+
+import "math/rand"
+
+// Majority is the threshold language {w ∈ {0,1}* : #₁(w) > |w|/2} — the words
+// in which strict majority of the processors hold a 1. It is non-regular in
+// the ring-with-a-leader sense that matters here: deciding it requires
+// comparing two unbounded counts, which places it in the paper's Θ(n log n)
+// class (a counter token meets the Theorem 4 lower bound; see
+// core.NewMajority).
+type Majority struct {
+	alphabet Alphabet
+}
+
+var _ Language = (*Majority)(nil)
+
+// NewMajority constructs the language over {0, 1}.
+func NewMajority() *Majority {
+	return &Majority{alphabet: NewAlphabet('0', '1')}
+}
+
+// Name implements Language.
+func (l *Majority) Name() string { return "majority" }
+
+// Alphabet implements Language.
+func (l *Majority) Alphabet() Alphabet { return l.alphabet }
+
+// ones counts the 1-letters of a word, or reports -1 for an invalid letter.
+func ones(w Word) int {
+	count := 0
+	for _, letter := range w {
+		switch letter {
+		case '1':
+			count++
+		case '0':
+		default:
+			return -1
+		}
+	}
+	return count
+}
+
+// Contains implements Language.
+func (l *Majority) Contains(w Word) bool {
+	count := ones(w)
+	return count >= 0 && 2*count > len(w)
+}
+
+// withOnes builds a word of length n with exactly k ones, shuffled.
+func withOnes(n, k int, rng *rand.Rand) Word {
+	w := make(Word, n)
+	for i := range w {
+		if i < k {
+			w[i] = '1'
+		} else {
+			w[i] = '0'
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { w[i], w[j] = w[j], w[i] })
+	return w
+}
+
+// GenerateMember implements Language: a word with a random majority count of
+// ones. No member of length 0 exists (0 ones is not a strict majority).
+func (l *Majority) GenerateMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	minOnes := n/2 + 1
+	return withOnes(n, minOnes+rng.Intn(n-minOnes+1), rng), true
+}
+
+// GenerateNonMember implements Language: a word with at most half ones.
+func (l *Majority) GenerateNonMember(n int, rng *rand.Rand) (Word, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	return withOnes(n, rng.Intn(n/2+1), rng), true
+}

@@ -194,6 +194,11 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 			if err != nil {
 				return err
 			}
+			if cfg.RecordTrace {
+				// Traces retain payloads beyond the delivery; payloads built on
+				// a Context scratch writer are reused after it, so snapshot.
+				s.Payload = s.Payload.Clone()
+			}
 			st.record(fromProc, to, s.Dir, arrival, s.Payload)
 			st.outstanding.Add(1)
 			linkIn[linkKey{from: fromProc, dir: s.Dir}] <- concDelivery{from: arrival, payload: s.Payload}

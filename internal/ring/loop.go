@@ -64,7 +64,11 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 	}
 	contexts := st.contexts[:n]
 	for i := range contexts {
-		contexts[i] = Context{isLeader: i == LeaderIndex, proc: i, sink: lp}
+		// Field-wise reset keeps each context's scratch writer (and its grown
+		// buffer) alive across the runs of a reused RunState.
+		contexts[i].isLeader = i == LeaderIndex
+		contexts[i].proc = i
+		contexts[i].sink = lp
 	}
 
 	sched.Reset(numLinks(n))
@@ -73,6 +77,12 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 			to, arrival, err := routeSend(cfg, fromProc, s, n)
 			if err != nil {
 				return err
+			}
+			if cfg.RecordTrace {
+				// The trace retains payloads beyond the delivery, but a payload
+				// built on a Context scratch writer is only valid until the
+				// sender's next message — snapshot it.
+				s.Payload = s.Payload.Clone()
 			}
 			lp.stats.record(fromProc, to, arrival, s.Payload)
 			if cfg.RecordTrace {

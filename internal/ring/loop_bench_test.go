@@ -273,6 +273,80 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSteadyState measures the reusable-state hot path: RunWith on
+// one RunState, the configuration batch workers run in. With the zero-copy
+// payload path (Context.Writer + Reply + bits.Writer.BitString) a steady-state
+// token circulation performs no per-message allocation at all; the remaining
+// allocs/op is the Result value.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	for _, n := range []int{64, 512, 4096} {
+		nodes := tokenNodes(n)
+		cfg := Config{RequireVerdict: true}
+		b.Run(fmt.Sprintf("sequential/n=%d", n), func(b *testing.B) {
+			eng := NewSequentialEngine()
+			st := NewRunState()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.RunWith(st, cfg, nodes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict != VerdictAccept {
+					b.Fatalf("unexpected verdict %v", res.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// Recorded allocation floors for the engine loop on the n=4096 one-bit token
+// ring. The measured values at the time of recording were 1 (steady state:
+// the Result) and 8 (full Run: run state, scheduler, stats, writer); the
+// ceilings below leave minimal headroom so a regression on the payload path
+// — a copy, a per-message slice, a per-send writer — fails the suite rather
+// than silently landing. The pre-zero-copy loop (PR 2) measured 4104.
+const (
+	allocCeilingSteadyStateN4096 = 2
+	allocCeilingFullRunN4096     = 12
+	allocSeedBaselineN4096       = 4104
+)
+
+// TestEngineLoopAllocRegressionGuard is the alloc-regression gate CI runs: the
+// engine loop at n=4096 must stay at (or below) the recorded floors, and in
+// particular strictly below the 4104 allocs/run the loop performed before the
+// zero-copy payload path.
+func TestEngineLoopAllocRegressionGuard(t *testing.T) {
+	n := 4096
+	nodes := tokenNodes(n)
+	cfg := Config{RequireVerdict: true}
+	eng := NewSequentialEngine()
+	st := NewRunState()
+	if _, err := eng.RunWith(st, cfg, nodes); err != nil {
+		t.Fatal(err)
+	}
+	steady := testing.AllocsPerRun(10, func() {
+		if _, err := eng.RunWith(st, cfg, nodes); err != nil {
+			t.Fatal(err)
+		}
+	})
+	full := testing.AllocsPerRun(10, func() {
+		if _, err := eng.Run(cfg, nodes); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/run at n=%d: steady-state=%.0f (ceiling %d), full Run=%.0f (ceiling %d)",
+		n, steady, allocCeilingSteadyStateN4096, full, allocCeilingFullRunN4096)
+	if steady > allocCeilingSteadyStateN4096 {
+		t.Errorf("steady-state loop allocates %.0f/run, recorded ceiling is %d", steady, allocCeilingSteadyStateN4096)
+	}
+	if full > allocCeilingFullRunN4096 {
+		t.Errorf("full Run allocates %.0f/run, recorded ceiling is %d", full, allocCeilingFullRunN4096)
+	}
+	if full >= allocSeedBaselineN4096 {
+		t.Errorf("full Run allocates %.0f/run, not below the pre-refactor %d baseline", full, allocSeedBaselineN4096)
+	}
+}
+
 // TestLoopAllocatesLessThanSeedLoop pins the point of the deque refactor: at
 // n=4096 the shared loop must allocate strictly less than the seed
 // `queue[1:]` implementation it replaced.

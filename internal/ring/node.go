@@ -32,13 +32,44 @@ type verdictSink interface {
 	decide(proc int, v Verdict) error
 }
 
-// Context is the engine-provided handle a Node uses to report decisions.
-// It is scoped to a single processor and valid only for the duration of the
-// run that provided it.
+// Context is the engine-provided handle a Node uses to report decisions and
+// to build outgoing payloads without allocating. It is scoped to a single
+// processor and valid only for the duration of the run that provided it.
 type Context struct {
 	isLeader bool
 	proc     int
 	sink     verdictSink
+	// scratch is the processor's reusable payload writer (see Writer). It is
+	// pooled across runs when the engine executes inside a RunState.
+	scratch *bits.Writer
+	// sendBuf backs the single-send slices returned by Reply.
+	sendBuf [1]Send
+}
+
+// Writer returns this processor's scratch payload writer, reset and ready for
+// a fresh message. Payloads built on it and sent via Writer().BitString()
+// alias the scratch buffer, so they are valid only until this processor's
+// next Writer call — which is exactly the discipline of a single-token
+// algorithm: a processor sends at most one message per delivery and does not
+// send again until the token returns. Algorithms that keep several messages
+// in flight per processor must snapshot with bits.Writer.String instead.
+// Engines snapshot payloads themselves when recording traces, so trace
+// retention never extends a payload's lifetime.
+func (c *Context) Writer() *bits.Writer {
+	if c.scratch == nil {
+		c.scratch = new(bits.Writer)
+	}
+	c.scratch.Reset()
+	return c.scratch
+}
+
+// Reply returns a single-element send slice backed by per-processor storage,
+// avoiding the per-message []Send allocation of a slice literal. The returned
+// slice is valid until this processor's next Reply call; the engine consumes
+// it before the next delivery, so handlers may return it directly.
+func (c *Context) Reply(dir Direction, payload bits.String) []Send {
+	c.sendBuf[0] = Send{Dir: dir, Payload: payload}
+	return c.sendBuf[:1]
 }
 
 // ErrNotLeader is returned when a non-leader processor attempts to decide.

@@ -9,7 +9,8 @@ import (
 
 // tokenNode implements the simplest possible recognition-shaped algorithm: a
 // single one-bit token travels once around the ring and the leader accepts
-// when it returns.
+// when it returns. It uses the zero-allocation payload path (Context.Writer +
+// Context.Reply), so the engine benchmarks measure the loop, not the nodes.
 type tokenNode struct {
 	leader bool
 }
@@ -18,16 +19,16 @@ func (t *tokenNode) Start(ctx *Context) ([]Send, error) {
 	if !t.leader {
 		return nil, nil
 	}
-	var w bits.Writer
+	w := ctx.Writer()
 	w.WriteBool(true)
-	return []Send{SendForward(w.String())}, nil
+	return ctx.Reply(Forward, w.BitString()), nil
 }
 
 func (t *tokenNode) Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error) {
 	if t.leader {
 		return nil, ctx.Accept()
 	}
-	return []Send{SendForward(payload)}, nil
+	return ctx.Reply(Forward, payload), nil
 }
 
 func tokenNodes(n int) []Node {

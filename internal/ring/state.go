@@ -1,10 +1,11 @@
 package ring
 
 // RunState owns the per-run allocations of the shared event loop — the stats
-// accounting, the processor contexts and (for engines that cache one) the
-// scheduler with its per-link queues — so a caller that executes many runs
-// can pay for them once instead of per run. A RunState may be used by one
-// goroutine at a time; batch executors keep one per worker.
+// accounting, the processor contexts (each with its scratch payload writer,
+// see Context.Writer) and (for engines that cache one) the scheduler with its
+// per-link queues — so a caller that executes many runs can pay for them once
+// instead of per run. A RunState may be used by one goroutine at a time;
+// batch executors keep one per worker.
 //
 // A Result produced with a RunState aliases the state's Stats: it is valid
 // only until the state's next run. Snapshot with Stats.Clone to retain it.
