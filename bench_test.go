@@ -1,4 +1,4 @@
-package ringlang
+package ringlang_test
 
 // One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E10) plus the
 // design ablations (A1–A3) and engine micro-benchmarks. Each benchmark runs a
@@ -6,6 +6,10 @@ package ringlang
 // quantity the corresponding paper claim is about (bits/n, bits/(n·log n),
 // bits/n², overhead factors) as a custom metric, so `go test -bench=.`
 // regenerates the shape of every result.
+//
+// This file lives in the external test package: internal/bench's pooled
+// sweeps run through the ringlang.Client, so an in-package import of bench
+// would be a cycle.
 
 import (
 	"io"

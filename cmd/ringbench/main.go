@@ -13,14 +13,23 @@
 // -workers selects how many goroutines the sweeps fan their (size × schedule)
 // cells across: 1 (the default) runs serially, 0 uses one worker per CPU, any
 // other value that many workers. Results are bit-identical at every setting.
+//
+// Ctrl-C (or SIGTERM) cancels the run mid-sweep: the tables of the
+// experiments that already completed stay on stdout, and the interrupted run
+// exits with a "canceled" summary instead of half a table.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"ringlang"
 	"ringlang/internal/bench"
 	"ringlang/internal/core"
 	"ringlang/internal/lang"
@@ -28,7 +37,14 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bench.SetDefaultContext(ctx)
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, ringlang.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "ringbench: canceled — the tables above are the experiments that completed")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ringbench:", err)
 		os.Exit(1)
 	}

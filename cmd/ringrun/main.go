@@ -11,33 +11,44 @@
 //	ringrun -algorithm three-counters -words 001122,012012,001212 -workers 0
 //	ringrun -list
 //
-// -words runs a whole batch (comma-separated) through the worker pool of
-// internal/exec and prints one accounting line per word; -workers sets the
+// -words runs a whole batch (comma-separated) through a ringlang.Client
+// worker pool and prints one accounting line per word; -workers sets the
 // pool size (0 = one worker per CPU, the default). Batch runs cannot record
 // traces.
+//
+// Ctrl-C (or SIGTERM) cancels the run: a batch stops dispatching, the words
+// already finished are still printed, and the canceled ones are marked.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"ringlang/internal/core"
-	"ringlang/internal/exec"
-	"ringlang/internal/lang"
+	"ringlang"
 	"ringlang/internal/ring"
 	"ringlang/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, ringlang.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "ringrun: canceled")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ringrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("ringrun", flag.ContinueOnError)
 	var (
 		algorithm  = fs.String("algorithm", "", "algorithm name (see -list)")
@@ -56,15 +67,15 @@ func run(args []string, out *os.File) error {
 	}
 	if *list {
 		fmt.Fprintln(out, "algorithms:")
-		for _, name := range core.AlgorithmNames() {
+		for _, name := range ringlang.AlgorithmNames() {
 			fmt.Fprintf(out, "  %s\n", name)
 		}
 		fmt.Fprintln(out, "languages:")
-		for _, name := range lang.CatalogNames() {
+		for _, name := range ringlang.LanguageNames() {
 			fmt.Fprintf(out, "  %s\n", name)
 		}
 		fmt.Fprintln(out, "schedules:")
-		for _, name := range ring.ScheduleNames() {
+		for _, name := range ringlang.ScheduleNames() {
 			fmt.Fprintf(out, "  %s\n", name)
 		}
 		return nil
@@ -75,10 +86,6 @@ func run(args []string, out *os.File) error {
 	if *word != "" && *words != "" {
 		return fmt.Errorf("-word and -words are mutually exclusive")
 	}
-	rec, err := core.NewRecognizerByName(*algorithm, *language)
-	if err != nil {
-		return err
-	}
 	name := *engineName
 	if *schedule != "" {
 		name = *schedule
@@ -86,7 +93,11 @@ func run(args []string, out *os.File) error {
 	if *seed != 0 && name != "random" && name != "random-order" {
 		return fmt.Errorf("-seed only takes effect with the random schedule (got %q)", name)
 	}
-	engine, err := ring.NewEngineByName(name, *seed)
+	client, err := ringlang.NewClient(*algorithm, *language,
+		ringlang.WithSchedule(name),
+		ringlang.WithSeed(*seed),
+		ringlang.WithWorkers(*workers),
+		ringlang.WithTrace(*withTrace))
 	if err != nil {
 		return err
 	}
@@ -94,64 +105,79 @@ func run(args []string, out *os.File) error {
 		if *withTrace {
 			return fmt.Errorf("-trace is not available for -words batches")
 		}
-		return runBatch(out, rec, engine, strings.Split(*words, ","), *workers)
+		return runBatch(ctx, out, client, strings.Split(*words, ","))
 	}
-	w := lang.WordFromString(*word)
-	res, err := core.Run(rec, w, core.RunOptions{Engine: engine, RecordTrace: *withTrace})
+	w := ringlang.WordFromString(*word)
+	report, err := client.Recognize(ctx, w)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "algorithm : %s\n", rec.Name())
-	fmt.Fprintf(out, "language  : %s\n", rec.Language().Name())
-	fmt.Fprintf(out, "schedule  : %s\n", engine.Name())
+	fmt.Fprintf(out, "algorithm : %s\n", report.Algorithm)
+	fmt.Fprintf(out, "language  : %s\n", report.LanguageName)
+	fmt.Fprintf(out, "schedule  : %s\n", report.Schedule)
 	fmt.Fprintf(out, "word      : %q (n=%d)\n", w.String(), len(w))
-	fmt.Fprintf(out, "verdict   : %s (language says member=%v)\n", res.Verdict, rec.Language().Contains(w))
-	fmt.Fprintf(out, "messages  : %d\n", res.Stats.Messages)
+	fmt.Fprintf(out, "verdict   : %s (language says member=%v)\n", report.Verdict, report.Member)
+	fmt.Fprintf(out, "messages  : %d\n", report.Messages)
 	fmt.Fprintf(out, "bits      : %d  (bits/n = %.2f, max message = %d bits)\n",
-		res.Stats.Bits, res.Stats.BitsPerProcessor(), res.Stats.MaxMessageBits)
+		report.Bits, report.BitsPerProcessor, report.MaxMessageBits)
 	if *withTrace {
-		report, err := trace.BuildReport(res, traceInputs(w))
+		res := &ring.Result{Verdict: report.Verdict, Stats: report.Stats, Trace: report.Trace}
+		analysis, err := trace.BuildReport(res, traceInputs(w))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "--- execution analysis ---")
-		if err := report.Render(out); err != nil {
+		if err := analysis.Render(out); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// runBatch fans the words over the exec worker pool and prints one
-// accounting line per word, in input order.
-func runBatch(out *os.File, rec core.Recognizer, engine ring.Engine, raw []string, workers int) error {
-	jobs := make([]exec.Job, len(raw))
+// runBatch fans the words over the client's worker pool and prints one
+// accounting line per word, in input order. Canceled words (Ctrl-C) are
+// marked, and the lines of the words that did complete are still printed.
+func runBatch(ctx context.Context, out *os.File, client *ringlang.Client, raw []string) error {
+	words := make([]ringlang.Word, len(raw))
 	for i, s := range raw {
-		jobs[i] = exec.Job{Rec: rec, Word: lang.WordFromString(strings.TrimSpace(s)), Engine: engine}
+		words[i] = ringlang.WordFromString(strings.TrimSpace(s))
 	}
-	fmt.Fprintf(out, "algorithm : %s\n", rec.Name())
-	fmt.Fprintf(out, "language  : %s\n", rec.Language().Name())
-	fmt.Fprintf(out, "schedule  : %s\n", engine.Name())
+	fmt.Fprintf(out, "algorithm : %s\n", client.AlgorithmName())
+	fmt.Fprintf(out, "language  : %s\n", client.LanguageName())
+	fmt.Fprintf(out, "schedule  : %s\n", client.ScheduleName())
 	fmt.Fprintf(out, "%-20s %-8s %-8s %10s %10s %8s\n", "word", "verdict", "member", "messages", "bits", "bits/n")
 	var firstErr error
-	for i, r := range exec.RunBatch(jobs, exec.Options{Workers: workers}) {
-		w := jobs[i].Word
+	completed, canceled := 0, 0
+	for i, r := range client.Batch(ctx, words) {
+		w := words[i]
 		if r.Err != nil {
+			if errors.Is(r.Err, ringlang.ErrCanceled) {
+				canceled++
+				fmt.Fprintf(out, "%-20q canceled\n", w.String())
+				continue
+			}
 			fmt.Fprintf(out, "%-20q %v\n", w.String(), r.Err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("word %d (%q): %w", i, w.String(), r.Err)
 			}
 			continue
 		}
+		completed++
 		fmt.Fprintf(out, "%-20q %-8s %-8v %10d %10d %8.2f\n",
-			w.String(), r.Verdict, rec.Language().Contains(w),
-			r.Stats.Messages, r.Stats.Bits, r.Stats.BitsPerProcessor())
+			w.String(), r.Report.Verdict, r.Report.Member,
+			r.Report.Messages, r.Report.Bits, r.Report.BitsPerProcessor)
+	}
+	if canceled > 0 {
+		fmt.Fprintf(out, "canceled: %d of %d words completed before the interrupt\n", completed, len(words))
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%d of %d words canceled: %w", canceled, len(words), ringlang.ErrCanceled)
+		}
 	}
 	return firstErr
 }
 
-func traceInputs(w lang.Word) []string {
+func traceInputs(w ringlang.Word) []string {
 	out := make([]string, len(w))
 	for i, letter := range w {
 		out[i] = string(letter)

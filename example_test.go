@@ -1,11 +1,68 @@
 package ringlang_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"ringlang"
 )
+
+// ExampleNewClient shows the v2 surface: a long-lived client bound to one
+// algorithm and schedule, driven with a context, with per-word results.
+func ExampleNewClient() {
+	client, err := ringlang.NewClient("three-counters", "",
+		ringlang.WithSchedule("round-robin"), ringlang.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close() // releases the Batch/Stream worker pool
+	ctx := context.Background()
+	report, err := client.Recognize(ctx, ringlang.WordFromString("001122"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single: verdict=%s bits=%d\n", report.Verdict, report.Bits)
+
+	words := []ringlang.Word{
+		ringlang.WordFromString("001122"),
+		ringlang.WordFromString("010212"),
+	}
+	for i, res := range client.Batch(ctx, words) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("batch[%d]: verdict=%s member=%v\n", i, res.Report.Verdict, res.Report.Member)
+	}
+	// Output:
+	// single: verdict=accept bits=72
+	// batch[0]: verdict=accept member=true
+	// batch[1]: verdict=reject member=false
+}
+
+// ExampleClient_Stream consumes reports as workers finish: the iterator
+// yields (word index, Result) pairs in completion order, and collecting them
+// by index reassembles the batch.
+func ExampleClient_Stream() {
+	client, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	words := []ringlang.Word{
+		ringlang.WordFromString("001122"),
+		ringlang.WordFromString("000111222"),
+	}
+	verdicts := make([]ringlang.Verdict, len(words))
+	for i, res := range client.Stream(context.Background(), words) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		verdicts[i] = res.Report.Verdict
+	}
+	fmt.Println(verdicts[0], verdicts[1])
+	// Output: accept accept
+}
 
 // ExampleRecognize runs the Theorem 1 one-pass algorithm for a regular
 // language on a six-processor ring and prints the exact bit cost.

@@ -2,12 +2,19 @@
 // n·log n and n² the language L_g costs Θ(g(n)) bits. The example sweeps the
 // standard growth functions and prints bits, bits/g(n) and the fitted log-log
 // slope, with and without knowledge of n (note 4).
+//
+// The sweeps fan out over all CPUs through bench's pooled path (which runs a
+// ringlang.Client batch underneath), and Ctrl-C cancels the remaining sweep
+// cells cleanly via the signal context installed with SetDefaultContext.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"ringlang/internal/bench"
@@ -16,6 +23,9 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bench.SetDefaultContext(ctx)
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -23,17 +33,18 @@ func main() {
 
 func run() error {
 	sizes := []int{64, 256, 1024}
+	opts := bench.MeasureOptions{Workers: -1} // one pool worker per CPU
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "g(n)\tn\tperiod p(n)\tbits (n unknown)\tbits (n known)\tknown/g(n)")
 	for _, growth := range lang.StandardGrowthFuncs() {
 		language := lang.NewLg(growth)
 		unknown := core.NewLgRecognizer(language)
 		known := core.NewLgRecognizerKnownN(language)
-		unknownPts, err := bench.MeasureRecognizer(unknown, sizes, bench.MeasureOptions{})
+		unknownPts, err := bench.MeasureRecognizer(unknown, sizes, opts)
 		if err != nil {
 			return err
 		}
-		knownPts, err := bench.MeasureRecognizer(known, sizes, bench.MeasureOptions{})
+		knownPts, err := bench.MeasureRecognizer(known, sizes, opts)
 		if err != nil {
 			return err
 		}

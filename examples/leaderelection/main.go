@@ -1,26 +1,27 @@
 // Leader election: the paper assumes a ring *with a leader*. This example
 // shows the full pipeline: elect a leader with Dolev–Klawe–Rodeh (O(n log n)
 // messages), re-index the ring so the winner is processor 0, and then run a
-// recognition algorithm initiated by that leader.
+// recognition algorithm initiated by that leader through a ringlang.Client.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"ringlang/internal/core"
+	"ringlang"
 	"ringlang/internal/election"
 	"ringlang/internal/lang"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	const n = 24
 	rng := rand.New(rand.NewSource(42))
 
@@ -45,19 +46,22 @@ func run() error {
 	// Step 2: the pattern on the ring. The paper reads the word starting at
 	// the leader, so we rotate the letters to the elected leader's position.
 	letters, _ := lang.NewAnBnCn().GenerateMember(n, rng)
-	rotated := make(lang.Word, 0, n)
+	rotated := make(ringlang.Word, 0, n)
 	rotated = append(rotated, letters[outcome.WinnerIndex:]...)
 	rotated = append(rotated, letters[:outcome.WinnerIndex]...)
 
 	// Step 3: the elected leader initiates recognition.
-	rec := core.NewThreeCounters()
-	res, err := core.Run(rec, rotated, core.RunOptions{})
+	client, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		return err
+	}
+	report, err := client.Recognize(ctx, rotated)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\npattern (from leader): %q\n", rotated.String())
 	fmt.Printf("recognition          : verdict %s with %d bits (three counters, O(n log n))\n",
-		res.Verdict, res.Stats.Bits)
+		report.Verdict, report.Bits)
 	fmt.Println("\nNote: the rotated pattern is generally no longer of the form 0^k1^k2^k —")
 	fmt.Println("the language the leader decides always reads the ring starting at itself.")
 	return nil

@@ -1,17 +1,26 @@
 // Passes vs bits: reproduce Section 7 note 5. The parity-index language over
 // 2^k letters can be recognized in two passes with (2k+1)·n bits or in one
 // pass with (k+2^k−1)·n bits; the example sweeps k and shows the crossover.
+//
+// The sweep runs under a signal context (bench.SetDefaultContext), so
+// Ctrl-C cancels the remaining cells instead of hanging the run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"ringlang/internal/bench"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	bench.SetDefaultContext(ctx)
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}

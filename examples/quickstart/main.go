@@ -1,71 +1,77 @@
 // Quickstart: recognize a regular language on a ring with a leader using the
 // Theorem 1 one-pass algorithm, and compare its cost with the collect-all
-// baseline and with a non-regular recognizer.
+// baseline and with a non-regular recognizer — all through the ringlang
+// facade: one context-aware Client per algorithm.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ringlang/internal/core"
-	"ringlang/internal/lang"
+	"ringlang"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// The language: words over {a,b} ending in "abb" (a regular language with
-	// a 4-state minimal DFA).
-	language, err := lang.NewRegularFromRegex("ends-abb", "(a|b)*abb")
+	// a 4-state minimal DFA, "ends-abb" in the catalog).
+	//
+	// The ring: one processor per letter, processor 0 (the leader) holding
+	// the first letter.
+	word := ringlang.WordFromString("abaabb")
+
+	// Theorem 1: one pass, ⌈log|Q|⌉ bits per message.
+	onePass, err := ringlang.NewClient("regular-one-pass", "ends-abb")
 	if err != nil {
 		return err
 	}
-
-	// The ring: one processor per letter, processor 0 (the leader) holding
-	// the first letter.
-	word := lang.WordFromString("abaabb")
-
-	// Theorem 1: one pass, ⌈log|Q|⌉ bits per message.
-	onePass := core.NewRegularOnePass(language)
-	res, err := core.Run(onePass, word, core.RunOptions{})
+	res, err := onePass.Recognize(ctx, word)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("ring pattern        : %q (n = %d processors)\n", word.String(), len(word))
 	fmt.Printf("one-pass verdict    : %s\n", res.Verdict)
 	fmt.Printf("one-pass cost       : %d messages, %d bits (%d bits per message)\n",
-		res.Stats.Messages, res.Stats.Bits, onePass.StateBits())
+		res.Messages, res.Bits, res.MaxMessageBits)
 
 	// The universal baseline: the leader collects the entire word, Θ(n²) bits.
-	baseline := core.NewCollectAll(language)
-	baseRes, err := core.Run(baseline, word, core.RunOptions{})
+	baseline, err := ringlang.NewClient("collect-all", "ends-abb")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("collect-all cost    : %d messages, %d bits\n", baseRes.Stats.Messages, baseRes.Stats.Bits)
+	baseRes, err := baseline.Recognize(ctx, word)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collect-all cost    : %d messages, %d bits\n", baseRes.Messages, baseRes.Bits)
 
 	// A non-regular language for contrast: {0^k 1^k 2^k} with three counters,
 	// Θ(n log n) bits (the best possible for any non-regular language).
-	three := core.NewThreeCounters()
-	csWord := lang.WordFromString("000111222")
-	csRes, err := core.Run(three, csWord, core.RunOptions{})
+	three, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		return err
+	}
+	csWord := ringlang.WordFromString("000111222")
+	csRes, err := three.Recognize(ctx, csWord)
+	if err != nil {
+		return err
+	}
+	collect, err := ringlang.NewClient("collect-all", "anbncn")
+	if err != nil {
+		return err
+	}
+	collectRes, err := collect.Recognize(ctx, csWord)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nnon-regular pattern : %q\n", csWord.String())
 	fmt.Printf("three-counters      : verdict %s, %d bits (vs %d bits for collect-all)\n",
-		csRes.Verdict, csRes.Stats.Bits, mustBits(core.NewCollectAll(lang.NewAnBnCn()), csWord))
+		csRes.Verdict, csRes.Bits, collectRes.Bits)
 	return nil
-}
-
-func mustBits(rec core.Recognizer, word lang.Word) int {
-	res, err := core.Run(rec, word, core.RunOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return res.Stats.Bits
 }

@@ -1,48 +1,60 @@
 // Turing: reproduce the Section 8 transformation — a one-tape TM with time
 // t(n) becomes a ring algorithm whose bit complexity is at most
 // t(n)·⌈log|Q|⌉ (plus a one-bit frame per message). The example runs the
-// palindrome machine both directly and distributed over the ring.
+// palindrome machine both directly and distributed over the ring, the ring
+// side through a ringlang.Client batch wrapping the transformed recognizer.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"ringlang/internal/core"
+	"ringlang"
 	"ringlang/internal/lang"
 	"ringlang/internal/tm"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	machine := tm.NewPalindromeMachine()
 	language := lang.NewPalindrome()
 	rec, err := tm.NewRingRecognizer(machine, language)
 	if err != nil {
 		return err
 	}
+	// The transformed recognizer is not in the name catalog, so the client
+	// wraps the constructed value directly.
+	client, err := ringlang.NewClientWith(rec)
+	if err != nil {
+		return err
+	}
 
-	words := []string{"abba", "abab", "abaabaaba", "aabbaabbaa"}
+	inputs := []string{"abba", "abab", "abaabaaba", "aabbaabbaa"}
+	words := make([]ringlang.Word, len(inputs))
+	for i, s := range inputs {
+		words[i] = ringlang.WordFromString(s)
+	}
 	fmt.Printf("machine: %s (|Q| = %d, %d bits per head message)\n\n",
 		machine.Name, machine.NumStates, rec.StateBits())
-	for _, s := range words {
-		word := lang.WordFromString(s)
+	results := client.Batch(ctx, words)
+	for i, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+		s := inputs[i]
 		direct, err := machine.Run([]rune(s), 1<<20)
 		if err != nil {
 			return err
 		}
-		res, err := core.Run(rec, word, core.RunOptions{})
-		if err != nil {
-			return err
-		}
-		bound := direct.Steps*(rec.StateBits()+1) + 2*len(word)
+		bound := direct.Steps*(rec.StateBits()+1) + 2*len(words[i])
 		fmt.Printf("word %-12q  TM: accepted=%-5v steps=%-4d   ring: verdict=%-7s bits=%-5d (bound %d)\n",
-			s, direct.Accepted, direct.Steps, res.Verdict, res.Stats.Bits, bound)
+			s, direct.Accepted, direct.Steps, r.Report.Verdict, r.Report.Bits, bound)
 	}
 	fmt.Println("\nEvery ring execution stays below the t(n)·(⌈log|Q|⌉+1) + 2n bound of Section 8.")
 	return nil

@@ -1,11 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"ringlang"
 	"ringlang/internal/core"
-	"ringlang/internal/exec"
 	"ringlang/internal/lang"
 	"ringlang/internal/ring"
 )
@@ -57,6 +58,11 @@ type MeasureOptions struct {
 	// SetDefaultWorkers changed it); 1 forces serial. Any worker count
 	// produces results bit-identical to the serial sweep.
 	Workers int
+	// Ctx cancels the sweep: runs abort with an error wrapping
+	// ring.ErrCanceled. Nil means the package default (context.Background
+	// unless SetDefaultContext changed it — cmd/ringbench installs its
+	// signal context there, so Ctrl-C stops a sweep mid-flight).
+	Ctx context.Context
 }
 
 func (o MeasureOptions) normalize() MeasureOptions {
@@ -71,6 +77,9 @@ func (o MeasureOptions) normalize() MeasureOptions {
 	}
 	if o.Workers == 0 {
 		o.Workers = defaultWorkers
+	}
+	if o.Ctx == nil {
+		o.Ctx = defaultCtx
 	}
 	return o
 }
@@ -118,6 +127,26 @@ func SetDefaultWorkers(n int) {
 	defaultWorkers = n
 }
 
+// defaultCtx is the context sweeps run under when MeasureOptions.Ctx is nil;
+// cmd/ringbench's signal handling replaces it via SetDefaultContext.
+var defaultCtx = context.Background()
+
+// SetDefaultContext routes every sweep that does not carry its own Ctx
+// through ctx, so one cancellation stops a whole experiment run. Like
+// SetDefaultSchedule it is a process-start knob, not a synchronized one.
+func SetDefaultContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defaultCtx = ctx
+}
+
+// DefaultContext returns the context installed by SetDefaultContext
+// (context.Background unless changed); RunAll polls it between experiments.
+func DefaultContext() context.Context {
+	return defaultCtx
+}
+
 // wordForSize produces the input word for one sweep point.
 func wordForSize(language lang.Language, n int, kind WordKind, window int, rng *rand.Rand) (lang.Word, error) {
 	switch kind {
@@ -162,9 +191,9 @@ func MeasureRecognizer(rec core.Recognizer, sizes []int, opts MeasureOptions) ([
 		}
 		var res *ring.Result
 		if opts.Kind == RandomWords {
-			res, err = core.Run(rec, word, core.RunOptions{Engine: engine})
+			res, err = core.Run(rec, word, core.RunOptions{Engine: engine, Ctx: opts.Ctx})
 		} else {
-			res, err = core.Check(rec, word, core.RunOptions{Engine: engine})
+			res, err = core.Check(rec, word, core.RunOptions{Engine: engine, Ctx: opts.Ctx})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
@@ -182,23 +211,35 @@ func sweepWord(rec core.Recognizer, n int, opts MeasureOptions) (lang.Word, erro
 }
 
 // measureParallel is the pooled sweep behind MeasureRecognizer: words are
-// generated up front (cheap and sequential), the runs fan out.
+// generated up front (cheap and sequential), the runs fan out through a
+// ringlang.Client batch, whose pool workers reuse their run state per size.
 func measureParallel(rec core.Recognizer, sizes []int, opts MeasureOptions, engine ring.Engine) ([]Point, error) {
-	jobs := make([]exec.Job, len(sizes))
+	client, err := ringlang.NewClientWith(rec, ringlang.WithEngine(engine), ringlang.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	words := make([]lang.Word, len(sizes))
 	for i, n := range sizes {
 		word, err := sweepWord(rec, n, opts)
 		if err != nil {
 			return nil, err
 		}
-		jobs[i] = exec.Job{Rec: rec, Word: word, Engine: engine, Check: opts.Kind != RandomWords}
+		words[i] = word
 	}
-	results := exec.RunBatch(jobs, exec.Options{Workers: opts.Workers})
+	results := client.Batch(opts.Ctx, words)
 	points := make([]Point, len(sizes))
 	for i, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), sizes[i], r.Err)
 		}
-		points[i] = Point{N: len(jobs[i].Word), Bits: r.Stats.Bits, Messages: r.Stats.Messages}
+		// Mirrors core.Check on the serial path: the client reports the
+		// verdict and the language's own answer, the sweep insists they agree.
+		if opts.Kind != RandomWords && (r.Report.Verdict == ring.VerdictAccept) != r.Report.Member {
+			return nil, fmt.Errorf("bench: %s at n=%d: decided %v on %q but the language says member=%v",
+				rec.Name(), sizes[i], r.Report.Verdict, words[i].String(), r.Report.Member)
+		}
+		points[i] = Point{N: len(words[i]), Bits: r.Report.Bits, Messages: r.Report.Messages}
 	}
 	return points, nil
 }
@@ -216,7 +257,7 @@ func MeasureOne(rec core.Recognizer, n int, opts MeasureOptions, recordTrace boo
 	if err != nil {
 		return Point{}, nil, nil, err
 	}
-	res, err := core.Run(rec, word, core.RunOptions{Engine: engine, RecordTrace: recordTrace})
+	res, err := core.Run(rec, word, core.RunOptions{Engine: engine, RecordTrace: recordTrace, Ctx: opts.Ctx})
 	if err != nil {
 		return Point{}, nil, nil, fmt.Errorf("bench: %s at n=%d: %w", rec.Name(), n, err)
 	}

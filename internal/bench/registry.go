@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ringlang/internal/ring"
 )
 
 // Suite selects how large the sweeps are.
@@ -110,9 +112,15 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, known)
 }
 
-// RunAll runs every experiment and renders the tables to w.
+// RunAll runs every experiment and renders the tables to w. Each table is
+// rendered as its experiment completes, so a run canceled through
+// SetDefaultContext still leaves every finished table on w; the error of
+// the canceled experiment wraps ring.ErrCanceled.
 func RunAll(w io.Writer, suite Suite) error {
 	for _, e := range Experiments() {
+		if err := defaultCtx.Err(); err != nil {
+			return fmt.Errorf("bench: %w: %w", ring.ErrCanceled, err)
+		}
 		table, err := e.Run(suite)
 		if err != nil {
 			return fmt.Errorf("bench: %s: %w", e.ID, err)

@@ -96,7 +96,7 @@ func ExperimentE13(sizes []int) (*Table, error) {
 			}
 		}
 	}
-	results := exec.RunBatch(jobs, exec.Options{Workers: wordOpts.Workers})
+	results := exec.RunBatchContext(wordOpts.Ctx, jobs, exec.Options{Workers: wordOpts.Workers})
 
 	disagreements := 0
 	cell := 0

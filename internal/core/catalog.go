@@ -1,13 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"ringlang/internal/lang"
 )
 
+// ErrUnknownAlgorithm is returned when an algorithm name is not one of
+// AlgorithmNames. Lookup errors wrap it (and language-argument failures wrap
+// lang.ErrUnknownLanguage), so callers classify failures with errors.Is
+// instead of string matching.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
 // NewRecognizerByName builds a recognizer from a short name, used by the cmd
-// tools. Regular-language recognizers take the language name as an argument.
+// tools and the ringlang facade. Regular-language recognizers take the
+// language name as an argument.
 func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 	switch algorithm {
 	case "regular-one-pass":
@@ -17,7 +26,7 @@ func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 		}
 		reg, ok := l.(*lang.Regular)
 		if !ok {
-			return nil, fmt.Errorf("core: %q is not a regular language", language)
+			return nil, fmt.Errorf("core: %w: %q is not a regular language", lang.ErrUnknownLanguage, language)
 		}
 		return NewRegularOnePass(reg), nil
 	case "collect-all":
@@ -49,7 +58,7 @@ func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("core: unknown growth function %q", language)
+			return nil, fmt.Errorf("core: %w: unknown growth function %q", lang.ErrUnknownLanguage, language)
 		}
 		if algorithm == "lg-known-n" {
 			return NewLgRecognizerKnownN(lang.NewLg(growth)), nil
@@ -58,7 +67,7 @@ func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 	case "parity-one-pass", "parity-two-pass":
 		var k int
 		if _, err := fmt.Sscanf(language, "k=%d", &k); err != nil {
-			return nil, fmt.Errorf("core: parity recognizers take a language of the form \"k=<int>\": %w", err)
+			return nil, fmt.Errorf("core: %w: parity recognizers take a language of the form \"k=<int>\": %v", lang.ErrUnknownLanguage, err)
 		}
 		pl, err := lang.NewParityIndex(k)
 		if err != nil {
@@ -69,7 +78,8 @@ func NewRecognizerByName(algorithm, language string) (Recognizer, error) {
 		}
 		return NewParityTwoPass(pl), nil
 	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", algorithm)
+		return nil, fmt.Errorf("%w %q (known: %s)",
+			ErrUnknownAlgorithm, algorithm, strings.Join(AlgorithmNames(), ", "))
 	}
 }
 

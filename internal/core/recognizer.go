@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -46,6 +47,11 @@ type RunOptions struct {
 	// until State's next run; snapshot Stats with Clone to retain it. Engines
 	// without state support (the concurrent engine) ignore it.
 	State *ring.RunState
+	// Ctx, when non-nil, cancels the run: the engine aborts with an error
+	// matching ring.ErrCanceled (and the context's own error) under
+	// errors.Is. Cancellation is checked at amortized cost, so the hot path
+	// is unaffected. A nil Ctx means the run cannot be canceled.
+	Ctx context.Context
 }
 
 // engine resolves the options to a concrete engine.
@@ -62,6 +68,9 @@ func (o RunOptions) engine() (ring.Engine, error) {
 // Run executes the recognizer on a ring labelled with word and returns the
 // engine result (verdict plus exact bit accounting).
 func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) {
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, fmt.Errorf("core: %w: %w", ring.ErrCanceled, opts.Ctx.Err())
+	}
 	if len(word) == 0 {
 		return nil, ErrEmptyWord
 	}
@@ -84,6 +93,7 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 		Initiators:     ring.LeaderOnly,
 		RecordTrace:    opts.RecordTrace,
 		RequireVerdict: true,
+		Ctx:            opts.Ctx,
 	}
 	var res *ring.Result
 	if se, ok := engine.(ring.StatefulEngine); ok && opts.State != nil {

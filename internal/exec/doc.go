@@ -11,8 +11,12 @@
 // bit-for-bit identical to serial core.Run/core.Check calls under every
 // built-in schedule; internal/exec's property tests enforce this.
 //
-// Entry points: NewPool/Pool.RunBatch for a long-lived pool, RunBatch for
-// one-shot batches. The facade (ringlang.RecognizeBatch), the bench sweeps
+// Entry points: NewPool/Pool.RunBatchContext for a long-lived pool,
+// RunBatch/RunBatchContext for one-shot batches, RunEach to stream results
+// in completion order (what ringlang.Client.Stream is built on). Dispatch is
+// context-aware: a canceled batch stops handing out jobs, reports the
+// undispatched ones with ring.ErrCanceled, and never discards the words that
+// completed. The facade (ringlang.Client.Batch/Stream), the bench sweeps
 // (bench.MeasureOptions.Workers) and the cmd tools' -workers flags all go
 // through here.
 package exec

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,6 +30,9 @@ type Job struct {
 	// Check cross-checks the verdict against the language's own membership
 	// predicate (core.Check); otherwise the run is core.Run.
 	Check bool
+	// RecordTrace records the full event trace of the run. The returned
+	// trace is freshly built per run and safe to retain.
+	RecordTrace bool
 }
 
 // Result is the outcome of one Job. Stats is an independent snapshot: it
@@ -36,7 +40,9 @@ type Job struct {
 type Result struct {
 	Verdict ring.Verdict
 	Stats   *ring.Stats
-	Err     error
+	// Trace is the recorded event sequence (nil unless Job.RecordTrace).
+	Trace ring.Trace
+	Err   error
 }
 
 // Options configures package-level RunBatch calls.
@@ -48,10 +54,11 @@ type Options struct {
 
 // task is one queued job plus where its result goes.
 type task struct {
-	job  Job
-	out  []Result
-	idx  int
-	done *sync.WaitGroup
+	ctx     context.Context
+	job     Job
+	idx     int
+	deliver func(idx int, res Result)
+	done    *sync.WaitGroup
 }
 
 // Pool is a set of persistent worker goroutines, each owning reusable run
@@ -75,7 +82,7 @@ func NewPool(workers int) *Pool {
 			defer p.wg.Done()
 			w := newWorker()
 			for t := range p.tasks {
-				t.out[t.idx] = w.run(t.job)
+				t.deliver(t.idx, w.run(t.ctx, t.job))
 				t.done.Done()
 			}
 		}()
@@ -92,24 +99,79 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// RunBatch executes every job and returns one Result per job, in job order.
-// Job errors land in the corresponding Result; RunBatch itself never fails.
-func (p *Pool) RunBatch(jobs []Job) []Result {
-	out := make([]Result, len(jobs))
-	var done sync.WaitGroup
-	done.Add(len(jobs))
-	for i := range jobs {
-		p.tasks <- task{job: jobs[i], out: out, idx: i, done: &done}
+// RunEach executes every job and hands each Result to deliver as soon as its
+// worker finishes — completion order, not job order. deliver is called
+// concurrently from worker goroutines (and, for jobs canceled before
+// dispatch, from the calling goroutine) and must be safe for that; every job
+// is delivered exactly once. When ctx is canceled, jobs not yet handed to a
+// worker are delivered immediately with an error wrapping ring.ErrCanceled,
+// and in-flight runs abort through the engines' own cancellation checks.
+// RunEach returns only after every job has been delivered.
+func (p *Pool) RunEach(ctx context.Context, jobs []Job, deliver func(idx int, res Result)) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	done.Wait()
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	canceledFrom := len(jobs)
+dispatch:
+	for i := range jobs {
+		if done != nil {
+			select {
+			case <-done:
+				canceledFrom = i
+				break dispatch
+			default:
+			}
+		}
+		wg.Add(1)
+		select {
+		case p.tasks <- task{ctx: ctx, job: jobs[i], idx: i, deliver: deliver, done: &wg}:
+		case <-done:
+			wg.Done()
+			canceledFrom = i
+			break dispatch
+		}
+	}
+	for i := canceledFrom; i < len(jobs); i++ {
+		deliver(i, Result{Err: fmt.Errorf("exec: job not dispatched: %w: %w", ring.ErrCanceled, ctx.Err())})
+	}
+	wg.Wait()
+}
+
+// RunBatchContext executes every job and returns one Result per job, in job
+// order. Job errors (including cancellation) land in the corresponding
+// Result; the call itself never fails, so a canceled batch still reports
+// every word that completed before the cancel.
+func (p *Pool) RunBatchContext(ctx context.Context, jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	p.RunEach(ctx, jobs, func(i int, r Result) { out[i] = r })
 	return out
+}
+
+// RunBatch executes every job without cancellation; see RunBatchContext.
+func (p *Pool) RunBatch(jobs []Job) []Result {
+	return p.RunBatchContext(context.Background(), jobs)
 }
 
 // RunBatch executes the jobs on a transient pool.
 func RunBatch(jobs []Job, opts Options) []Result {
+	return RunBatchContext(context.Background(), jobs, opts)
+}
+
+// RunBatchContext executes the jobs on a transient pool under ctx.
+func RunBatchContext(ctx context.Context, jobs []Job, opts Options) []Result {
 	p := NewPool(opts.Workers)
 	defer p.Close()
-	return p.RunBatch(jobs)
+	return p.RunBatchContext(ctx, jobs)
+}
+
+// RunEach executes the jobs on a transient pool, streaming each Result to
+// deliver in completion order; see Pool.RunEach.
+func RunEach(ctx context.Context, jobs []Job, opts Options, deliver func(idx int, res Result)) {
+	p := NewPool(opts.Workers)
+	defer p.Close()
+	p.RunEach(ctx, jobs, deliver)
 }
 
 // engineKey identifies a by-name engine in a worker's cache.
@@ -155,7 +217,7 @@ func (w *worker) engine(job Job) (ring.Engine, error) {
 }
 
 // run executes one job with this worker's reusable state.
-func (w *worker) run(job Job) Result {
+func (w *worker) run(ctx context.Context, job Job) Result {
 	if job.Rec == nil {
 		return Result{Err: fmt.Errorf("exec: job has no recognizer")}
 	}
@@ -168,7 +230,7 @@ func (w *worker) run(job Job) Result {
 		st = ring.NewRunState()
 		w.states[engine] = st
 	}
-	opts := core.RunOptions{Engine: engine, State: st}
+	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace}
 	var res *ring.Result
 	if job.Check {
 		res, err = core.Check(job.Rec, job.Word, opts)
@@ -179,6 +241,6 @@ func (w *worker) run(job Job) Result {
 		return Result{Err: err}
 	}
 	// Snapshot: res.Stats aliases st and the next run on this worker resets
-	// it.
-	return Result{Verdict: res.Verdict, Stats: res.Stats.Clone()}
+	// it. The trace does not — each run appends to a fresh slice.
+	return Result{Verdict: res.Verdict, Stats: res.Stats.Clone(), Trace: res.Trace}
 }

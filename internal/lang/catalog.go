@@ -1,10 +1,17 @@
 package lang
 
 import (
+	"errors"
 	"fmt"
 
 	"ringlang/internal/automata"
 )
+
+// ErrUnknownLanguage is returned when a language name (or a language argument
+// such as a growth-function or parity-index spec) resolves to nothing in the
+// catalog. Lookup errors wrap it, so callers classify failures with errors.Is
+// instead of string matching.
+var ErrUnknownLanguage = errors.New("lang: unknown language")
 
 // StandardRegularLanguages returns the fixed set of regular languages used by
 // the E1 experiment and the examples. Each entry exercises a different DFA
@@ -103,7 +110,7 @@ func ByName(name string) (Language, error) {
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("lang: unknown language %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownLanguage, name)
 }
 
 // CatalogNames lists every language name resolvable by ByName.

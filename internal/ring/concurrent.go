@@ -112,6 +112,16 @@ func (st *concState) currentVerdict() Verdict {
 	return st.verdict
 }
 
+// stopped reports whether finish has already released the run.
+func (st *concState) stopped() bool {
+	select {
+	case <-st.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run implements Engine.
 func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	cfg, err := cfg.normalize(len(nodes))
@@ -124,6 +134,24 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 		n:     n,
 		stats: newStats(n),
 		stop:  make(chan struct{}),
+	}
+
+	// Cancellation: one watcher goroutine per run turns a context cancel into
+	// the usual finish path, so processor goroutines and pumps drain exactly
+	// as they do for a verdict. The watcher exits with the run.
+	if cfg.Ctx != nil {
+		if cfg.Ctx.Err() != nil {
+			return nil, canceledRun(cfg.Ctx)
+		}
+		if done := cfg.Ctx.Done(); done != nil {
+			go func() {
+				select {
+				case <-done:
+					st.finish(canceledRun(cfg.Ctx))
+				case <-st.stop:
+				}
+			}()
+		}
 	}
 
 	// Per-processor inboxes and per-directed-link pumps providing unbounded
@@ -216,7 +244,7 @@ func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	// "start token" on the outstanding counter prevents a processor from
 	// declaring quiescence while later initiators are still being started.
 	st.outstanding.Add(1)
-	for i := 0; i < n && st.currentVerdict() == VerdictNone; i++ {
+	for i := 0; i < n && st.currentVerdict() == VerdictNone && !st.stopped(); i++ {
 		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
 			continue
 		}

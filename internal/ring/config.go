@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -36,6 +37,12 @@ type Config struct {
 	// leader having decided. Recognition algorithms set this; election does
 	// not.
 	RequireVerdict bool
+	// Ctx, when non-nil, lets the caller cancel the run. Engines check it at
+	// amortized cost (every ctxCheckInterval deliveries for the event loop, a
+	// watcher goroutine for the concurrent engine), so the steady-state hot
+	// path stays allocation-free; a canceled run fails with an error matching
+	// both ErrCanceled and the context's own error under errors.Is.
+	Ctx context.Context
 }
 
 // DefaultMaxMessagesPerProcessor bounds runaway executions: an execution may
@@ -56,6 +63,23 @@ var ErrMessageBudgetExceeded = errors.New("ring: message budget exceeded (non-te
 // ErrNoVerdict is returned when RequireVerdict is set and the execution
 // quiesced without a leader decision.
 var ErrNoVerdict = errors.New("ring: execution quiesced without a verdict")
+
+// ErrCanceled is returned when Config.Ctx is canceled before or during a run.
+// Errors wrapping it also wrap the context's own error, so callers can test
+// either errors.Is(err, ErrCanceled) or errors.Is(err, context.Canceled).
+var ErrCanceled = errors.New("ring: run canceled")
+
+// canceledRun builds the terminal error of a canceled execution.
+func canceledRun(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+}
+
+// ctxCheckInterval is how often (in deliveries) the event loop polls
+// Config.Ctx. A power of two, so the check compiles to a mask test; at 256
+// the n=4096 token circulation pays 16 channel polls per run and the
+// allocation floor guarded by TestEngineLoopAllocRegressionGuard is
+// unchanged.
+const ctxCheckInterval = 256
 
 // normalize validates the configuration and fills in defaults for a ring of
 // the given size.

@@ -53,6 +53,13 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		if cfg.Ctx.Err() != nil {
+			return nil, canceledRun(cfg.Ctx)
+		}
+		ctxDone = cfg.Ctx.Done()
+	}
 	if st == nil {
 		st = &RunState{}
 	}
@@ -115,9 +122,18 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 		}
 	}
 
-	// Delivery loop.
+	// Delivery loop. Cancellation is polled every ctxCheckInterval deliveries:
+	// a non-blocking receive on a prefetched Done channel, so runs with a
+	// context pay no allocation and runs without one pay a nil test.
 	delivered := 0
 	for lp.verdict == VerdictNone {
+		if ctxDone != nil && delivered&(ctxCheckInterval-1) == 0 {
+			select {
+			case <-ctxDone:
+				return nil, canceledRun(cfg.Ctx)
+			default:
+			}
+		}
 		d, ok := sched.Next()
 		if !ok {
 			break

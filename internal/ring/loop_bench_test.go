@@ -7,6 +7,7 @@ package ring
 // — after the originals are gone.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -314,36 +315,50 @@ const (
 // TestEngineLoopAllocRegressionGuard is the alloc-regression gate CI runs: the
 // engine loop at n=4096 must stay at (or below) the recorded floors, and in
 // particular strictly below the 4104 allocs/run the loop performed before the
-// zero-copy payload path.
+// zero-copy payload path. The same ceilings are enforced with a live
+// cancelable context installed (Config.Ctx with a real Done channel), so the
+// amortized cancellation checks can never reintroduce per-run allocations.
 func TestEngineLoopAllocRegressionGuard(t *testing.T) {
 	n := 4096
 	nodes := tokenNodes(n)
-	cfg := Config{RequireVerdict: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if ctx.Done() == nil {
+		t.Fatal("test context has no Done channel; the ctx-aware variant would not exercise the polls")
+	}
 	eng := NewSequentialEngine()
-	st := NewRunState()
-	if _, err := eng.RunWith(st, cfg, nodes); err != nil {
-		t.Fatal(err)
-	}
-	steady := testing.AllocsPerRun(10, func() {
-		if _, err := eng.RunWith(st, cfg, nodes); err != nil {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"no-ctx", Config{RequireVerdict: true}},
+		{"ctx", Config{RequireVerdict: true, Ctx: ctx}},
+	} {
+		st := NewRunState()
+		if _, err := eng.RunWith(st, tc.cfg, nodes); err != nil {
 			t.Fatal(err)
 		}
-	})
-	full := testing.AllocsPerRun(10, func() {
-		if _, err := eng.Run(cfg, nodes); err != nil {
-			t.Fatal(err)
+		steady := testing.AllocsPerRun(10, func() {
+			if _, err := eng.RunWith(st, tc.cfg, nodes); err != nil {
+				t.Fatal(err)
+			}
+		})
+		full := testing.AllocsPerRun(10, func() {
+			if _, err := eng.Run(tc.cfg, nodes); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s allocs/run at n=%d: steady-state=%.0f (ceiling %d), full Run=%.0f (ceiling %d)",
+			tc.name, n, steady, allocCeilingSteadyStateN4096, full, allocCeilingFullRunN4096)
+		if steady > allocCeilingSteadyStateN4096 {
+			t.Errorf("%s: steady-state loop allocates %.0f/run, recorded ceiling is %d", tc.name, steady, allocCeilingSteadyStateN4096)
 		}
-	})
-	t.Logf("allocs/run at n=%d: steady-state=%.0f (ceiling %d), full Run=%.0f (ceiling %d)",
-		n, steady, allocCeilingSteadyStateN4096, full, allocCeilingFullRunN4096)
-	if steady > allocCeilingSteadyStateN4096 {
-		t.Errorf("steady-state loop allocates %.0f/run, recorded ceiling is %d", steady, allocCeilingSteadyStateN4096)
-	}
-	if full > allocCeilingFullRunN4096 {
-		t.Errorf("full Run allocates %.0f/run, recorded ceiling is %d", full, allocCeilingFullRunN4096)
-	}
-	if full >= allocSeedBaselineN4096 {
-		t.Errorf("full Run allocates %.0f/run, not below the pre-refactor %d baseline", full, allocSeedBaselineN4096)
+		if full > allocCeilingFullRunN4096 {
+			t.Errorf("%s: full Run allocates %.0f/run, recorded ceiling is %d", tc.name, full, allocCeilingFullRunN4096)
+		}
+		if full >= allocSeedBaselineN4096 {
+			t.Errorf("%s: full Run allocates %.0f/run, not below the pre-refactor %d baseline", tc.name, full, allocSeedBaselineN4096)
+		}
 	}
 }
 

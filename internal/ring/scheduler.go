@@ -1,10 +1,17 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 )
+
+// ErrUnknownSchedule is returned when a schedule name is not one of
+// ScheduleNames (or their aliases). It wraps the detailed lookup errors of
+// NewSchedulerByName and NewEngineByName, so callers classify failures with
+// errors.Is instead of string matching.
+var ErrUnknownSchedule = errors.New("ring: unknown schedule")
 
 // Scheduler chooses the order in which pending messages are delivered by the
 // shared event loop (runLoop). The paper's bounds hold under every legal
@@ -258,8 +265,8 @@ func schedulerFactoryByName(name string, seed int64) (func() Scheduler, error) {
 	case "adversarial", "bounded-delay":
 		return func() Scheduler { return NewAdversarialScheduler(DefaultAdversarialBound) }, nil
 	default:
-		return nil, fmt.Errorf("ring: unknown schedule %q (known: %s)",
-			name, strings.Join(ScheduleNames(), ", "))
+		return nil, fmt.Errorf("%w %q (known: %s)",
+			ErrUnknownSchedule, name, strings.Join(ScheduleNames(), ", "))
 	}
 }
 

@@ -15,16 +15,29 @@
 //	internal/tm        — the Section 8 TM → ring transformation
 //	internal/bench     — the experiment harness behind EXPERIMENTS.md
 //
-// This package re-exports the handful of entry points a downstream user
-// needs to run a recognition on a ring and read off its bit complexity; the
-// cmd/ tools and examples/ directories show complete usage.
+// The entry point is the Client: a long-lived, concurrency-safe handle on
+// one algorithm under one delivery schedule, built with functional options
+// and driven with a context.Context —
+//
+//	client, err := ringlang.NewClient("three-counters", "",
+//		ringlang.WithSchedule("random"), ringlang.WithSeed(7))
+//	report, err := client.Recognize(ctx, ringlang.WordFromString("001122"))
+//	for i, res := range client.Stream(ctx, words) { … }
+//
+// Client.Batch and Client.Stream report per-word Results (a bad word never
+// fails its neighbours), cancellation propagates down to the engines, and
+// every failure wraps one of the package's typed sentinel errors
+// (ErrUnknownAlgorithm, ErrUnknownLanguage, ErrUnknownSchedule,
+// ErrCanceled). The package-level Recognize and RecognizeBatch functions are
+// the deprecated v1 surface, kept as thin wrappers over a per-call client.
 package ringlang
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ringlang/internal/core"
-	"ringlang/internal/exec"
 	"ringlang/internal/lang"
 	"ringlang/internal/ring"
 )
@@ -38,10 +51,14 @@ type (
 	Language = lang.Language
 	// Recognizer is a distributed recognition algorithm.
 	Recognizer = core.Recognizer
+	// Engine executes an algorithm on a ring; see WithEngine.
+	Engine = ring.Engine
 	// Verdict is the leader's accept/reject decision.
 	Verdict = ring.Verdict
 	// Stats is the exact per-execution bit and message accounting.
 	Stats = ring.Stats
+	// Trace is the recorded event sequence of a run (see WithTrace).
+	Trace = ring.Trace
 )
 
 // Verdict values.
@@ -73,9 +90,17 @@ type Report struct {
 	// Schedule is the delivery schedule the run executed under.
 	Schedule          string
 	UsedConcurrentRun bool
+	// Stats is the full accounting snapshot (per-link traffic included). It
+	// is independent of any pooled run state and safe to retain.
+	Stats *Stats
+	// Trace is the recorded event sequence; nil unless the client was built
+	// with WithTrace.
+	Trace Trace
 }
 
-// Options configures Recognize.
+// Options configures the deprecated package-level Recognize and
+// RecognizeBatch wrappers. New code should build a Client with functional
+// options instead.
 type Options struct {
 	// Concurrent runs the goroutine-per-processor engine instead of the
 	// deterministic sequential one. Shorthand for Schedule == "concurrent".
@@ -105,90 +130,105 @@ func (o Options) schedule() string {
 	return "sequential"
 }
 
+// clientOptions maps the v1 Options onto the Client's functional options.
+func (o Options) clientOptions() []Option {
+	return []Option{
+		WithSchedule(o.schedule()),
+		WithSeed(o.Seed),
+		WithWorkers(o.Workers),
+	}
+}
+
 // Recognize builds the named algorithm (see AlgorithmNames) and runs it on
-// the ring labelled with word. The language argument is required only by
-// algorithms that are parameterized by a language (for example
-// "regular-one-pass" with "even-ones", or "lg" with "n^1.5").
+// the ring labelled with word.
+//
+// Deprecated: build a Client with NewClient and call Client.Recognize, which
+// takes a context.Context and reuses the resolved algorithm and engine
+// across calls. This wrapper constructs a fresh client per call and runs it
+// under context.Background.
 func Recognize(algorithm, language string, word Word, opts Options) (*Report, error) {
-	rec, err := core.NewRecognizerByName(algorithm, language)
+	c, err := NewClient(algorithm, language, opts.clientOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return RecognizeWith(rec, word, opts)
+	return c.Recognize(context.Background(), word)
 }
 
 // RecognizeWith runs an already constructed recognizer.
+//
+// Deprecated: build a Client with NewClientWith and call Client.Recognize.
 func RecognizeWith(rec Recognizer, word Word, opts Options) (*Report, error) {
-	schedule := opts.schedule()
-	res, err := core.Run(rec, word, core.RunOptions{Schedule: schedule, Seed: opts.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("ringlang: %w", err)
-	}
-	return newReport(rec, word, res.Verdict, res.Stats, schedule), nil
-}
-
-// newReport assembles a Report from one execution's verdict and accounting.
-func newReport(rec Recognizer, word Word, verdict Verdict, stats *ring.Stats, schedule string) *Report {
-	return &Report{
-		Algorithm:         rec.Name(),
-		LanguageName:      rec.Language().Name(),
-		Verdict:           verdict,
-		Member:            rec.Language().Contains(word),
-		Messages:          stats.Messages,
-		Bits:              stats.Bits,
-		BitsPerProcessor:  stats.BitsPerProcessor(),
-		MaxMessageBits:    stats.MaxMessageBits,
-		ProcessorCount:    stats.Processors,
-		Schedule:          schedule,
-		UsedConcurrentRun: schedule == "concurrent",
-	}
-}
-
-// RecognizeBatch builds the named algorithm once and runs it on every word,
-// fanning the executions across a worker pool (internal/exec) whose workers
-// reuse their run state — engine, scheduler queues, stats — from word to
-// word. Reports are returned in word order and are exactly what per-word
-// Recognize calls would produce, under every schedule. The first failing
-// word fails the batch.
-func RecognizeBatch(algorithm, language string, words []Word, opts Options) ([]*Report, error) {
-	rec, err := core.NewRecognizerByName(algorithm, language)
+	c, err := NewClientWith(rec, opts.clientOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return RecognizeBatchWith(rec, words, opts)
+	return c.Recognize(context.Background(), word)
+}
+
+// RecognizeBatch builds the named algorithm once and runs it on every word
+// across a worker pool. Reports are returned in word order and are exactly
+// what per-word Recognize calls would produce, under every schedule. The
+// first failing word fails the whole batch and discards the other words'
+// reports — the v1 contract this wrapper preserves.
+//
+// Deprecated: build a Client with NewClient and call Client.Batch (per-word
+// Results, no fail-all) or Client.Stream (results as workers finish), both
+// of which take a context.Context.
+func RecognizeBatch(algorithm, language string, words []Word, opts Options) ([]*Report, error) {
+	c, err := NewClient(algorithm, language, opts.clientOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return failAll(c.Batch(context.Background(), words), words)
 }
 
 // RecognizeBatchWith runs an already constructed recognizer on every word in
 // parallel; see RecognizeBatch.
+//
+// Deprecated: build a Client with NewClientWith and call Client.Batch or
+// Client.Stream.
 func RecognizeBatchWith(rec Recognizer, words []Word, opts Options) ([]*Report, error) {
-	schedule := opts.schedule()
-	jobs := make([]exec.Job, len(words))
-	for i, w := range words {
-		jobs[i] = exec.Job{Rec: rec, Word: w, Schedule: schedule, Seed: opts.Seed}
+	c, err := NewClientWith(rec, opts.clientOptions()...)
+	if err != nil {
+		return nil, err
 	}
-	results := exec.RunBatch(jobs, exec.Options{Workers: opts.Workers})
-	reports := make([]*Report, len(words))
+	defer c.Close()
+	return failAll(c.Batch(context.Background(), words), words)
+}
+
+// failAll converts per-word Results into the v1 all-or-nothing shape: the
+// first word with an error fails the batch, with the v1 error format
+// ("ringlang: word N (...): cause") — the client's own "ringlang:" wrap is
+// peeled off so the prefix is not doubled.
+func failAll(results []Result, words []Word) ([]*Report, error) {
+	reports := make([]*Report, len(results))
 	for i, r := range results {
 		if r.Err != nil {
-			return nil, fmt.Errorf("ringlang: word %d (%q): %w", i, words[i].String(), r.Err)
+			cause := r.Err
+			if inner := errors.Unwrap(cause); inner != nil {
+				cause = inner
+			}
+			return nil, fmt.Errorf("ringlang: word %d (%q): %w", i, words[i].String(), cause)
 		}
-		reports[i] = newReport(rec, words[i], r.Verdict, r.Stats, schedule)
+		reports[i] = r.Report
 	}
 	return reports, nil
 }
 
-// AlgorithmNames lists the algorithms accepted by Recognize.
+// AlgorithmNames lists the algorithms accepted by NewClient and Recognize.
 func AlgorithmNames() []string {
 	return core.AlgorithmNames()
 }
 
-// LanguageNames lists the language names accepted by Recognize for the
-// algorithms that take one.
+// LanguageNames lists the language names accepted by NewClient and Recognize
+// for the algorithms that take one.
 func LanguageNames() []string {
 	return lang.CatalogNames()
 }
 
-// ScheduleNames lists the delivery schedules accepted by Options.Schedule.
+// ScheduleNames lists the delivery schedules accepted by WithSchedule and
+// Options.Schedule.
 func ScheduleNames() []string {
 	return ring.ScheduleNames()
 }
