@@ -1,7 +1,7 @@
 package ringlang_test
 
-// One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E10) plus the
-// design ablations (A1–A3) and engine micro-benchmarks. Each benchmark runs a
+// One testing.B benchmark per core experiment (E1–E10) plus the design
+// ablations (A1–A3) and engine micro-benchmarks. Each benchmark runs a
 // reduced but representative sweep per iteration and reports the normalized
 // quantity the corresponding paper claim is about (bits/n, bits/(n·log n),
 // bits/n², overhead factors) as a custom metric, so `go test -bench=.`
@@ -25,7 +25,7 @@ import (
 	"ringlang/internal/tm"
 )
 
-// benchSizes are deliberately smaller than the full EXPERIMENTS.md sweeps so
+// benchSizes are deliberately smaller than the full cmd/ringbench sweeps so
 // a full -bench=. run stays fast; cmd/ringbench runs the full versions.
 var (
 	benchLinearSizes    = []int{64, 256, 1024}

@@ -2,6 +2,7 @@ package ringlang
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"sync"
@@ -21,11 +22,13 @@ import (
 //	ErrUnknownLanguage  — the language name/argument resolves to nothing
 //	ErrUnknownSchedule  — the schedule name is not in ScheduleNames
 //	ErrCanceled         — the context was canceled before or during a run
+//	ErrClosed           — the Client was Closed before the call
 var (
 	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
 	ErrUnknownLanguage  = lang.ErrUnknownLanguage
 	ErrUnknownSchedule  = ring.ErrUnknownSchedule
 	ErrCanceled         = ring.ErrCanceled
+	ErrClosed           = errors.New("ringlang: client is closed")
 )
 
 // Client is a long-lived handle on one recognition algorithm under one
@@ -39,7 +42,9 @@ var (
 // Batch and Stream share one lazily started worker pool whose workers reuse
 // their run state — engine, scheduler queues, stats, scratch payload
 // writers — from word to word and from call to call. Close releases those
-// workers; a client used again after Close simply starts a fresh pool.
+// workers and retires the client: later calls report ErrClosed. Close is
+// idempotent and safe to race with in-flight Batch/Stream calls (it waits
+// for them to drain before releasing the pool).
 type Client struct {
 	rec      core.Recognizer
 	engine   ring.Engine
@@ -48,8 +53,10 @@ type Client struct {
 	workers  int
 	trace    bool
 
-	mu   sync.Mutex
-	pool *exec.Pool
+	mu       sync.Mutex
+	pool     *exec.Pool
+	closed   bool
+	inflight sync.WaitGroup
 }
 
 // Option configures a Client at construction time.
@@ -135,31 +142,51 @@ func NewClientWith(rec Recognizer, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// workerPool returns the client's shared batch pool, starting it on first
-// use.
-func (c *Client) workerPool() *exec.Pool {
+// acquirePool returns the client's shared batch pool (starting it on first
+// use) and registers one in-flight call, or reports ErrClosed. Every
+// successful acquire must be paired with one c.inflight.Done() — that pairing
+// is what lets Close wait for racing Batch/Stream calls instead of closing
+// the pool out from under them.
+func (c *Client) acquirePool() (*exec.Pool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
 	if c.pool == nil {
 		c.pool = exec.NewPool(c.workers)
 	}
-	return c.pool
+	c.inflight.Add(1)
+	return c.pool, nil
 }
 
-// Close releases the worker pool behind Batch and Stream (a no-op if neither
-// ran). The client stays usable: the next Batch or Stream starts a fresh
-// pool. Callers that build short-lived clients should Close them to not
-// accumulate idle worker goroutines; the deprecated v1 wrappers do. Close
-// must not be called while a Batch or Stream is in flight — cancel their
-// contexts and let them return first.
-func (c *Client) Close() {
+// Close retires the client: it marks it closed, waits for in-flight Batch and
+// Stream calls to drain, and releases the worker pool behind them (a no-op if
+// neither ran). Close is idempotent — the second and every later call return
+// nil immediately — and safe to call concurrently with Batch, Stream and
+// Recognize: racing calls either complete normally or report ErrClosed, never
+// panic. After Close every method reports ErrClosed (Batch and Stream as
+// per-word Results). Callers that build short-lived clients should Close them
+// to not accumulate idle worker goroutines; the deprecated v1 wrappers do.
+//
+// A Close racing a Stream waits only for the pool's work to finish, not for
+// the consumer to finish ranging: results already parked in the stream's
+// buffer still reach a consumer that keeps iterating.
+func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
 	pool := c.pool
 	c.pool = nil
 	c.mu.Unlock()
+	c.inflight.Wait()
 	if pool != nil {
 		pool.Close()
 	}
+	return nil
 }
 
 // AlgorithmName returns the name of the algorithm the client runs.
@@ -173,8 +200,14 @@ func (c *Client) ScheduleName() string { return c.schedule }
 
 // Recognize executes one recognition on the ring labelled with word and
 // returns its report. Canceling ctx aborts the run with an error wrapping
-// ErrCanceled.
+// ErrCanceled; a closed client reports ErrClosed.
 func (c *Client) Recognize(ctx context.Context, word Word) (*Report, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
 	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace})
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
@@ -199,15 +232,30 @@ type Result struct {
 // matching Result and never fail the words around them. Canceling ctx stops
 // dispatch: words already running finish or abort through the engine's
 // cancellation checks, undispatched words report ErrCanceled, and completed
-// reports are kept.
+// reports are kept. On a closed client every word reports ErrClosed.
 func (c *Client) Batch(ctx context.Context, words []Word) []Result {
 	if len(words) == 0 {
 		return nil
 	}
-	results := c.workerPool().RunBatchContext(ctx, c.jobs(words))
+	pool, err := c.acquirePool()
+	if err != nil {
+		return closedResults(len(words))
+	}
+	defer c.inflight.Done()
+	results := pool.RunBatchContext(ctx, c.jobs(words))
 	out := make([]Result, len(words))
 	for i, r := range results {
 		out[i] = c.result(words[i], r)
+	}
+	return out
+}
+
+// closedResults is the per-word shape of a Batch or Stream call that lost the
+// race with Close: one ErrClosed Result per word.
+func closedResults(n int) []Result {
+	out := make([]Result, n)
+	for i := range out {
+		out[i] = Result{Err: ErrClosed}
 	}
 	return out
 }
@@ -218,9 +266,19 @@ func (c *Client) Batch(ctx context.Context, words []Word) []Result {
 // yielded exactly once. Breaking out of the iteration cancels the remaining
 // work and returns after the in-flight words drain; canceling ctx mid-stream
 // stops dispatch and yields ErrCanceled results for the undispatched words.
+// On a closed client every word yields ErrClosed.
 func (c *Client) Stream(ctx context.Context, words []Word) iter.Seq2[int, Result] {
 	return func(yield func(int, Result) bool) {
 		if len(words) == 0 {
+			return
+		}
+		pool, err := c.acquirePool()
+		if err != nil {
+			for i, r := range closedResults(len(words)) {
+				if !yield(i, r) {
+					return
+				}
+			}
 			return
 		}
 		if ctx == nil {
@@ -238,7 +296,8 @@ func (c *Client) Stream(ctx context.Context, words []Word) iter.Seq2[int, Result
 		ch := make(chan item, len(words))
 		go func() {
 			defer close(ch)
-			c.workerPool().RunEach(ctx, c.jobs(words), func(i int, r exec.Result) {
+			defer c.inflight.Done()
+			pool.RunEach(ctx, c.jobs(words), func(i int, r exec.Result) {
 				ch <- item{idx: i, res: c.result(words[i], r)}
 			})
 		}()

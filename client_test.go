@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -389,10 +390,11 @@ func TestClientTrace(t *testing.T) {
 	}
 }
 
-// TestClientCloseAndReuse pins the pool lifecycle: Batch and Stream share a
-// persistent pool, Close releases its workers, and a closed client simply
-// starts a fresh pool on next use.
-func TestClientCloseAndReuse(t *testing.T) {
+// TestClientCloseLifecycle pins the pool lifecycle: Batch and Stream share a
+// persistent pool, Close releases its workers and retires the client, a
+// second Close is a no-op, and every call after Close reports ErrClosed
+// instead of panicking.
+func TestClientCloseLifecycle(t *testing.T) {
 	before := runtime.NumGoroutine()
 	client, err := NewClient("three-counters", "", WithWorkers(3))
 	if err != nil {
@@ -400,15 +402,39 @@ func TestClientCloseAndReuse(t *testing.T) {
 	}
 	ctx := context.Background()
 	words := testWords()
-	for round := 0; round < 2; round++ {
-		for i, r := range client.Batch(ctx, words) {
-			if r.Err != nil {
-				t.Fatalf("round %d word %d: %v", round, i, r.Err)
-			}
+	for i, r := range client.Batch(ctx, words) {
+		if r.Err != nil {
+			t.Fatalf("word %d: %v", i, r.Err)
 		}
-		client.Close()
 	}
-	client.Close() // idempotent on an already-released pool
+	if err := client.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := client.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := client.Recognize(ctx, words[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recognize after Close: %v", err)
+	}
+	results := client.Batch(ctx, words)
+	if len(results) != len(words) {
+		t.Fatalf("Batch after Close returned %d results, want %d", len(results), len(words))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrClosed) {
+			t.Errorf("Batch word %d after Close: %v", i, r.Err)
+		}
+	}
+	streamed := 0
+	for _, r := range client.Stream(ctx, words) {
+		streamed++
+		if !errors.Is(r.Err, ErrClosed) {
+			t.Errorf("Stream result after Close: %v", r.Err)
+		}
+	}
+	if streamed != len(words) {
+		t.Errorf("Stream after Close yielded %d results, want %d", streamed, len(words))
+	}
 	deadline := time.Now().Add(5 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
@@ -416,6 +442,41 @@ func TestClientCloseAndReuse(t *testing.T) {
 	if now := runtime.NumGoroutine(); now > before {
 		t.Errorf("goroutines leaked after Close: %d before, %d after", before, now)
 	}
+}
+
+// TestClientCloseConcurrentWithBatch races Close against in-flight Batch and
+// Stream calls: no call may panic, every word reports either a normal result
+// or ErrClosed, and Close waits for the in-flight work instead of yanking the
+// pool out from under it. Run with -race in CI.
+func TestClientCloseConcurrentWithBatch(t *testing.T) {
+	client, err := NewClient("three-counters", "", WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	words := []Word{bigWord(24), bigWord(32), bigWord(40)}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, r := range client.Batch(ctx, words) {
+				if r.Err != nil && !errors.Is(r.Err, ErrClosed) {
+					t.Errorf("batch during Close: %v", r.Err)
+				}
+			}
+			for _, r := range client.Stream(ctx, words) {
+				if r.Err != nil && !errors.Is(r.Err, ErrClosed) {
+					t.Errorf("stream during Close: %v", r.Err)
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Errorf("Close racing Batch/Stream: %v", err)
+	}
+	wg.Wait()
 }
 
 // TestWithEngineLabel pins that a pinned engine is authoritative: its name

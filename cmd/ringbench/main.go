@@ -1,4 +1,4 @@
-// Command ringbench regenerates the experiment tables of EXPERIMENTS.md.
+// Command ringbench regenerates the experiment tables (E1–E14, A1–A3).
 //
 // Usage:
 //
@@ -31,9 +31,6 @@ import (
 
 	"ringlang"
 	"ringlang/internal/bench"
-	"ringlang/internal/core"
-	"ringlang/internal/lang"
-	"ringlang/internal/ring"
 )
 
 func main() {
@@ -85,16 +82,20 @@ func run(args []string) error {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-4s %s\n", e.ID, e.Description)
 		}
+		// The catalogs print from ringlang.CurrentCatalog — the same source
+		// ringserve serves at /v1/catalog and CI diffs against the README
+		// table, so none of the three can drift from the others.
+		catalog := ringlang.CurrentCatalog()
 		fmt.Println("algorithms:")
-		for _, name := range core.AlgorithmNames() {
+		for _, name := range catalog.Algorithms {
 			fmt.Printf("  %s\n", name)
 		}
 		fmt.Println("languages:")
-		for _, name := range lang.CatalogNames() {
+		for _, name := range catalog.Languages {
 			fmt.Printf("  %s\n", name)
 		}
 		fmt.Println("schedules:")
-		for _, name := range ring.ScheduleNames() {
+		for _, name := range catalog.Schedules {
 			fmt.Printf("  %s\n", name)
 		}
 		return nil

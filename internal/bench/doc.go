@@ -1,9 +1,18 @@
 // Package bench is the experiment harness: it generates workloads, sweeps
-// ring sizes and parameters, runs the core recognizers on the ring engine,
-// and renders one table per experiment (E1–E10 in DESIGN.md, plus the design
-// ablations A1–A3). The cmd/ringbench tool and the repository-root benchmarks
-// are thin wrappers around this package, so every number in EXPERIMENTS.md
-// can be regenerated from one place.
+// ring sizes and parameters, runs the core recognizers on the ring engines,
+// and renders one table per experiment — E1–E13 for the paper's claims and
+// the extensions, E14 for the serving tier's cache behaviour, plus the
+// design ablations A1–A3 (see DESIGN.md). The cmd/ringbench tool and the
+// repository-root benchmarks are thin wrappers around this package, so every
+// table can be regenerated from one place.
+//
+// Entry points: Experiments/ByID/RunAll enumerate and run the registry;
+// MeasureRecognizer and MeasureOne sweep one recognizer under MeasureOptions
+// (word kind, engine or schedule+seed, worker fan-out, context); the
+// SetDefault* knobs are how cmd/ringbench routes its -schedule/-workers
+// flags and signal context into every sweep. Pooled sweeps
+// (MeasureOptions.Workers) run through a ringlang.Client batch and are
+// bit-identical to serial sweeps.
 //
 // The paper is a theory paper with no numeric tables of its own; the
 // "shape" each experiment must reproduce is the asymptotic claim of the

@@ -12,7 +12,7 @@ import (
 type Suite int
 
 const (
-	// SuiteFull uses the default sizes from DESIGN.md / EXPERIMENTS.md.
+	// SuiteFull uses the default sizes documented per experiment in DESIGN.md.
 	SuiteFull Suite = iota + 1
 	// SuiteQuick uses reduced sizes for smoke tests and CI.
 	SuiteQuick
@@ -81,6 +81,8 @@ func Experiments() []Experiment {
 			Run: func(s Suite) (*Table, error) { return ExperimentE12(scale(HierarchySizes, s)) }},
 		{ID: "E13", Description: "schedule axis: algorithms × sizes × delivery schedules agree on bits",
 			Run: func(s Suite) (*Table, error) { return ExperimentE13(scale([]int{33, 99, 201}, s)) }},
+		{ID: "E14", Description: "serving tier: memo cache hit ratio on repeated-word traffic (ringserve)",
+			Run: func(s Suite) (*Table, error) { return ExperimentE14(scale([]int{48, 96, 192, 384}, s)) }},
 		{ID: "A1", Description: "ablation: counter encodings",
 			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
 		{ID: "A2", Description: "ablation: DFA minimization",

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"ringlang"
+	"ringlang/internal/memo"
+)
+
+// TestExperimentE14ServesRepeatsFromCache pins the serving-tier claim the
+// E14 table prints: on repeated-word traffic the engine runs exactly once
+// per distinct word, and every other request is a hit.
+func TestExperimentE14ServesRepeatsFromCache(t *testing.T) {
+	table, err := ExperimentE14([]int{48, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		// Columns: n, requests, distinct, engine runs, hits, hit ratio, runs = distinct.
+		if row[2] != row[3] {
+			t.Errorf("n=%s: %s engine runs for %s distinct words — repeats re-ran the engine", row[0], row[3], row[2])
+		}
+		if row[6] != "true" {
+			t.Errorf("n=%s: runs = distinct column reports %s", row[0], row[6])
+		}
+	}
+}
+
+// TestServingHitPathZeroEngineAllocs is the serving twin of the engine-loop
+// alloc guards: once a report is cached, serving it again costs zero
+// allocations — in particular zero engine allocations, because the engine is
+// never entered.
+func TestServingHitPathZeroEngineAllocs(t *testing.T) {
+	client, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cache := memo.New[*ringlang.Report](64, 0)
+	word := ringlang.WordFromString("000111222")
+	key := memo.Key{Algorithm: "three-counters", Schedule: "sequential", Word: word.String()}
+	report, err := client.Recognize(context.Background(), word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, report)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := cache.Get(key); !ok {
+			t.Fatal("warmed key missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f times per request, want 0 (and zero engine runs)", allocs)
+	}
+}
+
+// BenchmarkServingHitVsMiss measures the two serving paths side by side: a
+// memoized repeat against a full engine run, on the same word.
+func BenchmarkServingHitVsMiss(b *testing.B) {
+	client, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	word := servingWords(192)[0]
+	key := memo.Key{Algorithm: "three-counters", Schedule: "sequential", Word: word.String()}
+
+	b.Run("miss(engine-run)", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Recognize(ctx, word); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit(memo)", func(b *testing.B) {
+		cache := memo.New[*ringlang.Report](64, 0)
+		report, err := client.Recognize(ctx, word)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Put(key, report)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := cache.Get(key); !ok {
+				b.Fatal("miss on warmed key")
+			}
+		}
+	})
+}

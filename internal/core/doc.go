@@ -4,6 +4,19 @@
 // ring.Node per processor (processor 0 being the leader) and whose verdict is
 // compared against the language's membership predicate.
 //
+// Entry points: Run executes a recognizer on a word under RunOptions{Engine,
+// Schedule, Seed, RecordTrace, State, Ctx} (State reuses a ring.RunState
+// across runs — the batch pool's zero-allocation path; Ctx cancels mid-run
+// with ring.ErrCanceled); Check is Run plus a verdict-vs-membership
+// cross-check. NewRecognizerByName resolves the AlgorithmNames catalog for
+// the cmd tools, the ringlang facade and the serving tier, wrapping lookup
+// failures in ErrUnknownAlgorithm / lang.ErrUnknownLanguage.
+//
+// Most recognizers are declarations over the token-pass framework
+// (TokenAlgo/TokenPass/NewTokenRecognizer, see token.go): a spec of per-pass
+// Fold/Encode/Decode functions and a final Verdict, from which the framework
+// builds the nodes, the leader/pass plumbing and the pooled payload path.
+//
 // The algorithms, with their bit complexities as analysed in the paper:
 //
 //   - RegularOnePass (Theorem 1/6): one pass carrying a DFA state, O(n) bits.
@@ -19,4 +32,8 @@
 //     trade-off for a regular language over 2ᵏ letters.
 //   - CountBackward and LineSimulation (Theorem 7 stage 1): bidirectional
 //     algorithms and the cut-link line transformation.
+//
+// Extensions beyond the paper, built on the same framework and held to the
+// same golden/property tests: Majority ({w : #₁(w) > |w|/2}, Θ(n log n)),
+// BalancedCounter, the Dyck recognizer and the aggregate functions.
 package core

@@ -18,5 +18,7 @@
 // undispatched ones with ring.ErrCanceled, and never discards the words that
 // completed. The facade (ringlang.Client.Batch/Stream), the bench sweeps
 // (bench.MeasureOptions.Workers) and the cmd tools' -workers flags all go
-// through here.
+// through here — including the serving tier, whose per-key clients each own
+// one of these pools, making Pool the engine-concurrency bound behind
+// ringserve's admission limit.
 package exec

@@ -1,0 +1,68 @@
+package memo_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ringlang"
+	"ringlang/internal/memo"
+)
+
+// ExampleCache shows the serving tier's pattern: recognition reports keyed by
+// (algorithm, language, schedule, seed, word), so a repeated word is a map
+// lookup instead of an engine run.
+func ExampleCache() {
+	cache := memo.New[*ringlang.Report](1024, 0)
+	client, err := ringlang.NewClient("three-counters", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	key := memo.Key{Algorithm: "three-counters", Schedule: "sequential", Word: "001122"}
+	if _, ok := cache.Get(key); !ok {
+		report, err := client.Recognize(context.Background(), ringlang.WordFromString(key.Word))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cache.Put(key, report)
+	}
+	report, ok := cache.Get(key) // this time: no engine run
+	fmt.Printf("hit=%v verdict=%s bits=%d\n", ok, report.Verdict, report.Bits)
+	st := cache.Stats()
+	fmt.Printf("hits=%d misses=%d entries=%d\n", st.Hits, st.Misses, st.Entries)
+	// Output:
+	// hit=true verdict=accept bits=72
+	// hits=1 misses=1 entries=1
+}
+
+// ExampleCache_Do shows the singleflight form ringserve uses: Do computes on
+// a miss, returns the cached value on a hit, and collapses concurrent
+// identical requests into one engine run.
+func ExampleCache_Do() {
+	cache := memo.New[*ringlang.Report](1024, 0)
+	client, err := ringlang.NewClient("majority", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	recognize := func(word string) (*ringlang.Report, bool, error) {
+		key := memo.Key{Algorithm: "majority", Schedule: "sequential", Word: word}
+		return cache.Do(key, func() (*ringlang.Report, error) {
+			return client.Recognize(context.Background(), ringlang.WordFromString(word))
+		})
+	}
+	for i := 0; i < 3; i++ {
+		report, cached, err := recognize("110101")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: cached=%v verdict=%s\n", i, cached, report.Verdict)
+	}
+	// Output:
+	// run 0: cached=false verdict=accept
+	// run 1: cached=true verdict=accept
+	// run 2: cached=true verdict=accept
+}

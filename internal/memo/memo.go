@@ -1,0 +1,297 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+)
+
+// Key identifies one recognition result: the algorithm and language that ran,
+// the delivery schedule, the seed (meaningful only for randomized schedules —
+// callers should store zero for deterministic ones so equivalent runs share
+// an entry), and the word labelling the ring.
+type Key struct {
+	Algorithm string
+	Language  string
+	Schedule  string
+	Seed      int64
+	Word      string
+}
+
+// hash is FNV-1a over every field, with a separator byte between strings so
+// ("ab","c") and ("a","bc") do not collide. It allocates nothing.
+func (k Key) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	mix(k.Algorithm)
+	mix(k.Language)
+	mix(k.Schedule)
+	seed := uint64(k.Seed)
+	for i := 0; i < 8; i++ {
+		h ^= seed & 0xff
+		h *= prime
+		seed >>= 8
+	}
+	mix(k.Word)
+	return h
+}
+
+// entry is one cached value on a shard's intrusive LRU list.
+type entry[V any] struct {
+	key        Key
+	val        V
+	prev, next *entry[V]
+}
+
+// shard is one lock domain: a map for lookup, a circular LRU list threaded
+// through the entries for eviction order (root.next is most recent), and the
+// in-flight singleflight calls for Do.
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[Key]*entry[V]
+	root     entry[V] // sentinel of the circular LRU list
+	capacity int
+	calls    map[Key]*call[V]
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// call is one in-flight Do computation that waiters latch onto.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a sharded, bounded memoization cache, safe for concurrent use.
+// The zero value is not usable; build one with New.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64
+}
+
+// DefaultShards is the shard count New uses when given zero.
+const DefaultShards = 16
+
+// New builds a cache holding up to capacity entries (minimum one per shard)
+// across the given number of shards, rounded up to a power of two; zero
+// shards means DefaultShards. Capacity is enforced per shard — capacity/shards
+// entries each, LRU-evicted independently — so a pathological key skew can
+// retire a hot shard's entries while colder shards sit below their bound;
+// with the default shard count and uniformly hashed words the difference is
+// noise.
+func New[V any](capacity, shards int) *Cache[V] {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := capacity / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.entries = make(map[Key]*entry[V])
+		s.calls = make(map[Key]*call[V])
+		s.capacity = perShard
+		s.root.prev = &s.root
+		s.root.next = &s.root
+	}
+	return c
+}
+
+// shardFor picks the lock domain of a key.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	return &c.shards[k.hash()&c.mask]
+}
+
+// unlink removes e from the LRU list.
+func (e *entry[V]) unlink() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// pushFront inserts e right after the sentinel (most recently used).
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// Get returns the cached value for k, marking it most recently used. A hit
+// performs zero allocations.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	return c.lookup(k, true)
+}
+
+// Peek is Get for layered lookups: a hit touches the LRU order and counts as
+// a hit, but an absence records no miss — the caller is about to fall
+// through to Do (or a Get-then-run path) which will record the authoritative
+// miss, and counting both would break the misses == computes accounting.
+func (c *Cache[V]) Peek(k Key) (V, bool) {
+	return c.lookup(k, false)
+}
+
+// lookup is the shared read path of Get and Peek.
+func (c *Cache[V]) lookup(k Key, countMiss bool) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		if countMiss {
+			s.misses++
+		}
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	e.unlink()
+	s.pushFront(e)
+	v := e.val
+	s.mu.Unlock()
+	return v, true
+}
+
+// Put stores v under k, evicting the shard's least recently used entry when
+// the shard is full. Storing an existing key replaces its value and marks it
+// most recently used.
+func (c *Cache[V]) Put(k Key, v V) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	s.put(k, v)
+	s.mu.Unlock()
+}
+
+// put is Put with s.mu held.
+func (s *shard[V]) put(k Key, v V) {
+	if e, ok := s.entries[k]; ok {
+		e.val = v
+		e.unlink()
+		s.pushFront(e)
+		return
+	}
+	if len(s.entries) >= s.capacity {
+		oldest := s.root.prev
+		oldest.unlink()
+		delete(s.entries, oldest.key)
+		s.evictions++
+	}
+	e := &entry[V]{key: k, val: v}
+	s.entries[k] = e
+	s.pushFront(e)
+}
+
+// ErrComputePanicked is the error waiters of a Do call receive when the
+// computing caller's function panicked (the panic itself propagates on the
+// computing goroutine). Nothing is cached, so the next Do retries.
+var ErrComputePanicked = errors.New("memo: compute panicked")
+
+// Do returns the cached value for k, or computes and caches it. Concurrent
+// Do calls with the same key share one compute: exactly one caller runs it,
+// the rest block until it finishes and receive the same value. cached
+// reports whether this caller was served without running compute (a cache
+// hit or a shared in-flight result). A compute error is handed to every
+// sharing caller and nothing is cached, so the next Do retries. A panicking
+// compute is unwound safely: the panic propagates to its caller, waiters
+// receive ErrComputePanicked, and the key is never wedged.
+func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, cached bool, err error) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.hits++
+		e.unlink()
+		s.pushFront(e)
+		v = e.val
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	if cl, ok := s.calls[k]; ok {
+		// Someone is computing this key right now; share their result. This
+		// counts as a hit: the caller is served without engine work.
+		s.hits++
+		s.mu.Unlock()
+		<-cl.done
+		return cl.val, true, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.calls[k] = cl
+	s.misses++
+	s.mu.Unlock()
+
+	// The cleanup is deferred so a panicking compute still unregisters the
+	// call and releases its waiters instead of wedging the key forever.
+	completed := false
+	defer func() {
+		if !completed {
+			cl.err = ErrComputePanicked
+		}
+		s.mu.Lock()
+		delete(s.calls, k)
+		if completed && cl.err == nil {
+			s.put(k, cl.val)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.val, cl.err = compute()
+	completed = true
+	return cl.val, false, cl.err
+}
+
+// Stats is a point-in-time aggregate across shards.
+type Stats struct {
+	// Hits counts Get/Do calls served without a compute — cached entries
+	// plus Do calls that shared an in-flight computation.
+	Hits uint64
+	// Misses counts Get lookups that found nothing and Do calls that ran
+	// their compute.
+	Misses uint64
+	// Evictions counts entries dropped to capacity pressure.
+	Evictions uint64
+	// Entries is the current number of live cached values.
+	Entries int
+}
+
+// HitRatio is Hits / (Hits + Misses), or zero before any lookup.
+func (st Stats) HitRatio() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// Stats sums the per-shard counters. Shards are locked one at a time, so the
+// aggregate is approximate under concurrent traffic (exact when quiescent).
+func (c *Cache[V]) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}

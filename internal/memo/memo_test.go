@@ -1,0 +1,278 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func wordKey(word string) Key {
+	return Key{Algorithm: "three-counters", Schedule: "sequential", Word: word}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[int](64, 0)
+	k := wordKey("001122")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(k, 42)
+	v, ok := c.Get(k)
+	if !ok || v != 42 {
+		t.Fatalf("Get = %d, %v; want 42, true", v, ok)
+	}
+	c.Put(k, 43) // replace
+	if v, _ := c.Get(k); v != 43 {
+		t.Fatalf("after replace Get = %d, want 43", v)
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("Hits/Misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestSeedSeparatesEntries(t *testing.T) {
+	c := New[string](64, 0)
+	k7 := Key{Algorithm: "three-counters", Schedule: "random", Seed: 7, Word: "001122"}
+	k9 := k7
+	k9.Seed = 9
+	c.Put(k7, "seed7")
+	if _, ok := c.Get(k9); ok {
+		t.Fatal("different seeds shared an entry")
+	}
+	c.Put(k9, "seed9")
+	if v, _ := c.Get(k7); v != "seed7" {
+		t.Errorf("seed 7 entry = %q", v)
+	}
+	if v, _ := c.Get(k9); v != "seed9" {
+		t.Errorf("seed 9 entry = %q", v)
+	}
+}
+
+// TestLRUEviction fills one logical shard beyond capacity and checks the
+// oldest (least recently touched) entry is the one retired.
+func TestLRUEviction(t *testing.T) {
+	// One shard makes eviction order deterministic for the test.
+	c := New[int](2, 1)
+	a, b, d := wordKey("a"), wordKey("b"), wordKey("d")
+	c.Put(a, 1)
+	c.Put(b, 2)
+	c.Get(a)    // a is now more recent than b
+	c.Put(d, 3) // evicts b
+	if _, ok := c.Get(b); ok {
+		t.Error("b survived eviction but was least recently used")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("a was evicted but had been touched")
+	}
+	if _, ok := c.Get(d); !ok {
+		t.Error("d missing right after Put")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("Evictions/Entries = %d/%d, want 1/2", st.Evictions, st.Entries)
+	}
+}
+
+func TestNewRoundsShardsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32}} {
+		c := New[int](1024, tc.in)
+		if got := len(c.shards); got != tc.want {
+			t.Errorf("New(_, %d) built %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDoSingleflight is the serving tier's core guarantee: concurrent
+// identical requests run the compute exactly once and everyone receives its
+// value.
+func TestDoSingleflight(t *testing.T) {
+	c := New[int](64, 0)
+	k := wordKey("001122")
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(k, func() (int, error) {
+				computes.Add(1)
+				<-gate // hold the compute open so every caller piles up
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	// Let one caller enter the compute, then release it. The others must
+	// either be parked on the in-flight call or arrive later and hit.
+	for computes.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key, want exactly 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1 (the single compute)", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Errorf("Hits = %d, want %d", st.Hits, callers-1)
+	}
+}
+
+// TestPeekCountsHitsNotMisses pins the layered-lookup contract: Peek serves
+// and counts hits like Get but leaves the miss accounting to the compute
+// path behind it, so misses stay equal to computes.
+func TestPeekCountsHitsNotMisses(t *testing.T) {
+	c := New[int](64, 0)
+	k := wordKey("001122")
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("empty cache reported a Peek hit")
+	}
+	if st := c.Stats(); st.Misses != 0 {
+		t.Errorf("Peek on absence recorded %d misses, want 0", st.Misses)
+	}
+	if _, _, err := c.Do(k, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Peek(k); !ok || v != 1 {
+		t.Fatalf("Peek after Do = %d, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("Hits/Misses = %d/%d, want 1/1 (one compute, one Peek hit)", st.Hits, st.Misses)
+	}
+}
+
+// TestDoPanicSafe pins the unwedging contract: a panicking compute releases
+// its waiters with ErrComputePanicked, propagates the panic to its own
+// caller, and leaves the key retryable.
+func TestDoPanicSafe(t *testing.T) {
+	c := New[int](64, 0)
+	k := wordKey("kaboom")
+	entered := make(chan struct{})
+	waited := make(chan error, 1)
+	go func() {
+		// Started only once the main caller is registered as the computer,
+		// so this either joins the in-flight panicking call (and gets
+		// ErrComputePanicked) or arrives after the unwind and computes 3
+		// itself — both legal; the test demands only that it never wedges.
+		<-entered
+		_, _, err := c.Do(k, func() (int, error) { return 3, nil })
+		waited <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.Do(k, func() (int, error) {
+			close(entered)
+			time.Sleep(10 * time.Millisecond) // let the waiter latch on
+			panic("engine exploded")
+		})
+	}()
+	select {
+	case err := <-waited:
+		if err != nil && !errors.Is(err, ErrComputePanicked) {
+			t.Errorf("waiter error = %v, want nil or ErrComputePanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged on the panicked key")
+	}
+	// The key stays retryable and nothing from the panicked run was cached.
+	v, _, err := c.Do(k, func() (int, error) { return 3, nil })
+	if err != nil || v != 3 {
+		t.Fatalf("retry after panic = %d, %v", v, err)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](64, 0)
+	k := wordKey("boom")
+	fail := errors.New("engine exploded")
+	if _, cached, err := c.Do(k, func() (int, error) { return 0, fail }); !errors.Is(err, fail) || cached {
+		t.Fatalf("failing Do = cached=%v err=%v", cached, err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("error result was cached")
+	}
+	// The next Do retries and can succeed.
+	v, cached, err := c.Do(k, func() (int, error) { return 5, nil })
+	if err != nil || cached || v != 5 {
+		t.Fatalf("retry Do = %d cached=%v err=%v", v, cached, err)
+	}
+	if v, ok := c.Get(k); !ok || v != 5 {
+		t.Fatalf("retry result not cached: %d %v", v, ok)
+	}
+}
+
+// TestMemoHitAllocRegressionGuard pins the serving-tier hit path the way the
+// engine-loop guards pin the run path: a cache hit performs zero allocations
+// (and, by construction, zero engine work — Get never computes anything).
+func TestMemoHitAllocRegressionGuard(t *testing.T) {
+	c := New[*struct{ Bits int }](256, 0)
+	keys := make([]Key, 8)
+	for i := range keys {
+		keys[i] = wordKey(fmt.Sprintf("word-%d", i))
+		c.Put(keys[i], &struct{ Bits int }{Bits: i})
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		k := keys[i%len(keys)]
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("hit path missed")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %.1f times per Get, want 0", allocs)
+	}
+}
+
+// TestConcurrentMixedTraffic hammers every entry point from many goroutines;
+// its value is running under -race in CI.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	c := New[int](128, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := wordKey(fmt.Sprintf("w%d", (g*7+i)%200))
+				switch i % 3 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					if _, _, err := c.Do(k, func() (int, error) { return i, nil }); err != nil {
+						t.Errorf("Do: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 128 {
+		t.Errorf("cache grew past capacity: %d entries", st.Entries)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+}

@@ -31,6 +31,12 @@
 // NewScheduledEngine; NewEngineByName resolves the built-in names (see
 // ScheduleNames) for flags and facade options.
 //
+// Runs are driven through Engine.Run (or RunWith on a caller-owned RunState:
+// stats, contexts and scheduler queues reused run to run — the batch pool's
+// steady-state path) under a Config carrying the message budget, trace
+// recording and a cancellation context; a canceled run fails with an error
+// wrapping both ErrCanceled and the context's own error.
+//
 // The engine, not the algorithm, accounts every payload bit sent over every
 // link; Stats is the quantity all the paper's results are about.
 package ring

@@ -248,21 +248,50 @@ func ScheduleNames() []string {
 	return []string{"sequential", "random", "round-robin", "adversarial", "concurrent"}
 }
 
+// CanonicalScheduleName folds the accepted aliases — "fifo" for
+// "sequential", "random-order" for "random", "bounded-delay" for
+// "adversarial" — onto the canonical names of ScheduleNames. Unknown names
+// (and the empty string) pass through unchanged; lookup functions remain the
+// validators. Anything that keys state by schedule name (the serving tier's
+// memo cache, a client pool) should key by the canonical name so aliases
+// converge on one entry.
+func CanonicalScheduleName(name string) string {
+	switch name {
+	case "fifo":
+		return "sequential"
+	case "random-order":
+		return "random"
+	case "bounded-delay":
+		return "adversarial"
+	default:
+		return name
+	}
+}
+
+// ScheduleUsesSeed reports whether the named schedule's delivery order
+// depends on the seed. Only randomized delivery does; results under every
+// other built-in schedule are seed-independent, which is what lets the
+// serving tier memoize them under one seed. A new seeded schedule must be
+// added here as well as to the factory table below.
+func ScheduleUsesSeed(name string) bool {
+	return CanonicalScheduleName(name) == "random"
+}
+
 // schedulerFactoryByName is the single name → scheduler table behind both
 // NewSchedulerByName and NewEngineByName; a new schedule needs exactly one
-// case here plus its ScheduleNames entry. The seed drives randomized
-// schedules and is ignored by deterministic ones. Accepted aliases: "fifo"
-// for "sequential", "random-order" for "random", "bounded-delay" for
-// "adversarial".
+// case here plus its ScheduleNames entry (and, if seeded, a
+// ScheduleUsesSeed case). The seed drives randomized schedules and is
+// ignored by deterministic ones. Aliases are folded by
+// CanonicalScheduleName, the only place they are spelled.
 func schedulerFactoryByName(name string, seed int64) (func() Scheduler, error) {
-	switch name {
-	case "sequential", "fifo":
+	switch CanonicalScheduleName(name) {
+	case "sequential":
 		return NewFIFOScheduler, nil
-	case "random", "random-order":
+	case "random":
 		return func() Scheduler { return NewRandomScheduler(seed) }, nil
 	case "round-robin":
 		return NewRoundRobinScheduler, nil
-	case "adversarial", "bounded-delay":
+	case "adversarial":
 		return func() Scheduler { return NewAdversarialScheduler(DefaultAdversarialBound) }, nil
 	default:
 		return nil, fmt.Errorf("%w %q (known: %s)",
@@ -285,10 +314,10 @@ func NewSchedulerByName(name string, seed int64) (Scheduler, error) {
 // dedicated engine types are special-cased; everything else is resolved
 // through the shared scheduler table.
 func NewEngineByName(name string, seed int64) (Engine, error) {
-	switch name {
-	case "sequential", "fifo":
+	switch CanonicalScheduleName(name) {
+	case "sequential":
 		return NewSequentialEngine(), nil
-	case "random", "random-order":
+	case "random":
 		return NewRandomOrderEngine(seed), nil
 	case "concurrent":
 		return NewConcurrentEngine(), nil

@@ -1,0 +1,42 @@
+// Package server is the HTTP serving tier over the ringlang Client — the
+// layer cmd/ringserve wraps in a binary. It turns the library's three
+// execution shapes into endpoints:
+//
+//	POST /v1/recognize — one word, one report (Client.Recognize)
+//	POST /v1/batch     — per-word results in word order, never fail-all
+//	                     (Client.Batch)
+//	GET  /v1/stream    — results as workers finish, completion order, as
+//	                     NDJSON or SSE (Client.Stream)
+//	GET  /v1/catalog   — the algorithm/language/schedule catalogs
+//	                     (ringlang.CurrentCatalog, the same data
+//	                     `ringbench -list` prints)
+//	GET  /healthz      — liveness plus cache and in-flight counters
+//
+// The entry point is New(Config) → Server; Server.Handler() returns the
+// routed http.Handler and Server.Close drains and releases the per-key
+// ringlang Clients. Three mechanisms sit between the wire and the engines:
+//
+//   - Memoization (internal/memo): results are cached per (algorithm,
+//     language, schedule, seed, word), so a repeated word is served with
+//     zero engine runs. Deterministic schedules are cached under seed 0 —
+//     their results do not depend on the seed — while random-order entries
+//     keep theirs. /v1/recognize runs through the cache's singleflight Do,
+//     collapsing a thundering herd of identical requests into one engine
+//     run; batch and stream serve per-word hits from the cache and run only
+//     the misses.
+//   - Backpressure: Config.MaxInFlight bounds concurrently served run
+//     requests with a non-blocking semaphore; beyond it the server answers
+//     429 with a Retry-After header instead of queueing unboundedly. Work
+//     admitted past the semaphore is still bounded by each Client's exec
+//     worker pool (Config.Workers).
+//   - Cancellation: every handler passes its http.Request context straight
+//     into the Client, so a dropped connection stops dispatch mid-batch and
+//     mid-stream with the library's stop-dispatch-and-drain semantics; the
+//     undispatched words report ErrCanceled and already-computed reports
+//     stay cached.
+//
+// Every response is JSON. Failures carry the error string plus a stable
+// machine-readable code derived from the facade's sentinel taxonomy
+// (unknown-algorithm, unknown-language, unknown-schedule, canceled, closed,
+// run-failed) with the matching HTTP status.
+package server

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"ringlang"
+	"ringlang/internal/memo"
+	"ringlang/internal/ring"
+)
+
+// Config sizes the serving tier. The zero value is serviceable: one worker
+// per CPU, a 4096-entry cache, and 4×GOMAXPROCS in-flight run requests.
+type Config struct {
+	// Workers is the exec-pool size of every Client the server builds;
+	// values < 1 mean one worker per CPU.
+	Workers int
+	// CacheCapacity is the total memo cache size in entries. Negative
+	// disables caching entirely; zero means DefaultCacheCapacity.
+	CacheCapacity int
+	// CacheShards is the memo shard count, rounded up to a power of two;
+	// zero means memo.DefaultShards.
+	CacheShards int
+	// MaxInFlight bounds concurrently served recognize/batch/stream
+	// requests; past it the server answers 429. Values < 1 mean
+	// 4×GOMAXPROCS.
+	MaxInFlight int
+	// MaxBatchWords caps the words of one batch or stream request; past it
+	// the server answers 413. Values < 1 mean DefaultMaxBatchWords.
+	MaxBatchWords int
+	// MaxWordLetters caps the length of a single word (the ring size a
+	// request may ask for); longer words fail with a word-too-large error
+	// instead of building an arbitrarily large ring. Values < 1 mean
+	// DefaultMaxWordLetters.
+	MaxWordLetters int
+	// MaxBodyBytes caps the request body read per call, enforced with
+	// http.MaxBytesReader before any decoding. Values < 1 mean
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxClients bounds the per-(algorithm, language, schedule, seed)
+	// Client map; past it the least recently used client is closed and
+	// evicted, so unbounded key churn (e.g. a fresh random seed per
+	// request) cannot accumulate idle worker pools. Values < 1 mean
+	// DefaultMaxClients.
+	MaxClients int
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultCacheCapacity  = 4096
+	DefaultMaxBatchWords  = 4096
+	DefaultMaxWordLetters = 1 << 16
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultMaxClients     = 64
+)
+
+// clientKey identifies one cached *ringlang.Client. Schedule is normalized
+// (canonical name, defaulted) and seed is zeroed for deterministic schedules,
+// so equivalent requests share a client and its warmed worker pool.
+type clientKey struct {
+	algorithm string
+	language  string
+	schedule  string
+	seed      int64
+}
+
+// Server holds the per-key Clients, the memo cache and the admission
+// semaphore behind the HTTP handlers. Build with New; always Close.
+type Server struct {
+	cfg   Config
+	cache *memo.Cache[*ringlang.Report] // nil when caching is disabled
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	clients  map[clientKey]*clientEntry
+	useSeq   uint64
+	closed   bool
+	draining bool
+
+	// streamDone, when set (tests), receives the terminal per-word error of
+	// a stream request — how the disconnect tests observe ErrCanceled.
+	streamDone func(err error)
+}
+
+// New builds a Server from cfg, applying the documented defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatchWords < 1 {
+		cfg.MaxBatchWords = DefaultMaxBatchWords
+	}
+	if cfg.MaxWordLetters < 1 {
+		cfg.MaxWordLetters = DefaultMaxWordLetters
+	}
+	if cfg.MaxBodyBytes < 1 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxClients < 1 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = DefaultCacheCapacity
+	}
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		clients: make(map[clientKey]*clientEntry),
+	}
+	if cfg.CacheCapacity > 0 {
+		s.cache = memo.New[*ringlang.Report](cfg.CacheCapacity, cfg.CacheShards)
+	}
+	return s
+}
+
+// Handler returns the routed handler; one Server can serve many listeners.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recognize", s.handleRecognize)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// BeginDrain flips /healthz to "draining"/503 while the run endpoints keep
+// serving, so a load balancer health-checking the server stops routing new
+// traffic before the listener goes away. cmd/ringserve calls it the moment
+// the termination signal arrives, ahead of http.Server.Shutdown.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close retires the server: later run requests answer 503 and every cached
+// Client is closed (waiting out its in-flight Batch/Stream work — the
+// facade's documented Close semantics). Idempotent, like Client.Close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	clients := make([]*ringlang.Client, 0, len(s.clients))
+	for _, e := range s.clients {
+		clients = append(clients, e.client)
+	}
+	s.clients = nil
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	return nil
+}
+
+// CacheStats reports the memo cache counters (zero when caching is off);
+// /healthz serves the same numbers.
+func (s *Server) CacheStats() memo.Stats {
+	if s.cache == nil {
+		return memo.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// keyFor builds the canonical client key of one request: the schedule is
+// folded onto its canonical name (internal/ring owns the alias table, so the
+// server cannot drift from the engine catalog) and the seed is zeroed for
+// seed-independent schedules, so equivalent requests converge on one client
+// and one cache entry while randomized runs stay keyed by their seed.
+// Unknown schedule names pass through untouched — the Client constructor is
+// the validator and reports ErrUnknownSchedule.
+func keyFor(algorithm, language, schedule string, seed int64) clientKey {
+	if schedule == "" {
+		schedule = "sequential"
+	} else {
+		schedule = ring.CanonicalScheduleName(schedule)
+	}
+	if !ring.ScheduleUsesSeed(schedule) {
+		seed = 0
+	}
+	return clientKey{algorithm: algorithm, language: language, schedule: schedule, seed: seed}
+}
+
+// cacheKey is the memo key of one word under a client key.
+func (ck clientKey) cacheKey(word string) memo.Key {
+	return memo.Key{
+		Algorithm: ck.algorithm,
+		Language:  ck.language,
+		Schedule:  ck.schedule,
+		Seed:      ck.seed,
+		Word:      word,
+	}
+}
+
+// clientEntry is one cached Client plus its recency stamp and reference
+// count. The refcount is what makes LRU eviction safe: an evicted entry's
+// Client is closed only after the last request holding it releases, so a
+// request that resolved its client just before the eviction still completes
+// normally instead of tripping over ErrClosed.
+type clientEntry struct {
+	client  *ringlang.Client
+	lastUse uint64
+	refs    int
+	evicted bool
+}
+
+// acquireClient resolves (building and caching on first use) the entry of
+// one key and takes a reference on it. Callers must pair every successful
+// acquire with one releaseClient. The map is bounded by Config.MaxClients:
+// inserting past the bound evicts the least recently used entry, whose
+// Client is closed as soon as its in-flight requests release it — so a
+// request stream churning through fresh keys (every random seed is its own
+// key) cannot accumulate unbounded idle worker pools.
+func (s *Server) acquireClient(ck clientKey) (*clientEntry, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ringlang.ErrClosed
+	}
+	s.useSeq++
+	if e, ok := s.clients[ck]; ok {
+		e.lastUse = s.useSeq
+		e.refs++
+		s.mu.Unlock()
+		return e, nil
+	}
+	s.mu.Unlock()
+
+	// Construction — recognizer building, DFA work for the regular
+	// algorithms — happens off the server lock so one cold key never
+	// serializes unrelated requests. The map is re-checked on reacquire; a
+	// lost build race discards this client (Closing a never-used client is
+	// a no-op, it has no pool yet).
+	c, err := ringlang.NewClient(ck.algorithm, ck.language,
+		ringlang.WithSchedule(ck.schedule),
+		ringlang.WithSeed(ck.seed),
+		ringlang.WithWorkers(s.cfg.Workers),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return nil, ringlang.ErrClosed
+	}
+	s.useSeq++
+	if e, ok := s.clients[ck]; ok {
+		e.lastUse = s.useSeq
+		e.refs++
+		s.mu.Unlock()
+		c.Close()
+		return e, nil
+	}
+	var evict *ringlang.Client
+	if len(s.clients) >= s.cfg.MaxClients {
+		var oldestKey clientKey
+		var oldest *clientEntry
+		for k, e := range s.clients {
+			if oldest == nil || e.lastUse < oldest.lastUse {
+				oldestKey, oldest = k, e
+			}
+		}
+		delete(s.clients, oldestKey)
+		oldest.evicted = true
+		if oldest.refs == 0 {
+			evict = oldest.client
+		}
+	}
+	e := &clientEntry{client: c, lastUse: s.useSeq, refs: 1}
+	s.clients[ck] = e
+	s.mu.Unlock()
+	if evict != nil {
+		// Close waits for the client's internal work; do it off the server
+		// lock so eviction never stalls unrelated requests.
+		go evict.Close()
+	}
+	return e, nil
+}
+
+// releaseClient drops one reference; the last release of an evicted entry
+// closes its Client.
+func (s *Server) releaseClient(e *clientEntry) {
+	s.mu.Lock()
+	e.refs--
+	shouldClose := e.evicted && e.refs == 0
+	s.mu.Unlock()
+	if shouldClose {
+		e.client.Close()
+	}
+}
+
+// admit takes one in-flight slot, or reports that the server is saturated.
+// The returned release func must be called exactly once when admitted.
+func (s *Server) admit() (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		return nil, false
+	}
+}
+
+// inflight is the number of currently admitted run requests.
+func (s *Server) inflight() int { return len(s.sem) }
+
+// isDraining reports whether BeginDrain or Close has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// isClosed reports whether Close has begun. Handlers that can answer without
+// acquireClient (the recognize cache fast path) must check it themselves so
+// a closed server answers 503 uniformly, warm keys included.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// String describes the server's sizing, for startup logs.
+func (s *Server) String() string {
+	cache := "off"
+	if s.cache != nil {
+		cache = fmt.Sprintf("%d entries", s.cfg.CacheCapacity)
+	}
+	return fmt.Sprintf("ringserve: cache=%s maxInFlight=%d maxBatchWords=%d",
+		cache, s.cfg.MaxInFlight, s.cfg.MaxBatchWords)
+}

@@ -5,15 +5,20 @@
 // The heavy lifting lives in the internal packages (see DESIGN.md for the
 // full inventory):
 //
-//	internal/ring      — the ring-with-a-leader simulator (sequential and
-//	                     concurrent engines) with exact bit accounting
+//	internal/ring      — the scheduler-pluggable ring-with-a-leader
+//	                     simulator with exact bit accounting
 //	internal/automata  — DFA/NFA/regex substrate for Theorem 1
 //	internal/lang      — the paper's languages and word generators
-//	internal/core      — the paper's recognition algorithms
+//	internal/core      — the recognition algorithms and the declarative
+//	                     token-pass framework
+//	internal/bits      — bit-exact payload strings and counter codes
+//	internal/exec      — the batch-execution worker pool behind Batch/Stream
 //	internal/trace     — information-state and token analyses
 //	internal/election  — the leader-election substrate
 //	internal/tm        — the Section 8 TM → ring transformation
-//	internal/bench     — the experiment harness behind EXPERIMENTS.md
+//	internal/bench     — the experiment harness behind cmd/ringbench
+//	internal/memo      — the serving tier's sharded memoization cache
+//	internal/server    — the HTTP serving layer behind cmd/ringserve
 //
 // The entry point is the Client: a long-lived, concurrency-safe handle on
 // one algorithm under one delivery schedule, built with functional options
@@ -21,15 +26,20 @@
 //
 //	client, err := ringlang.NewClient("three-counters", "",
 //		ringlang.WithSchedule("random"), ringlang.WithSeed(7))
+//	defer client.Close()
 //	report, err := client.Recognize(ctx, ringlang.WordFromString("001122"))
 //	for i, res := range client.Stream(ctx, words) { … }
 //
 // Client.Batch and Client.Stream report per-word Results (a bad word never
 // fails its neighbours), cancellation propagates down to the engines, and
 // every failure wraps one of the package's typed sentinel errors
-// (ErrUnknownAlgorithm, ErrUnknownLanguage, ErrUnknownSchedule,
-// ErrCanceled). The package-level Recognize and RecognizeBatch functions are
-// the deprecated v1 surface, kept as thin wrappers over a per-call client.
+// (ErrUnknownAlgorithm, ErrUnknownLanguage, ErrUnknownSchedule, ErrCanceled,
+// ErrClosed). Close is idempotent and safe under concurrent calls; a closed
+// client reports ErrClosed instead of panicking. CurrentCatalog exposes the
+// algorithm/language/schedule name catalogs in one value — what `ringbench
+// -list` prints and ringserve serves at /v1/catalog. The package-level
+// Recognize and RecognizeBatch functions are the deprecated v1 surface, kept
+// as thin wrappers over a per-call client.
 package ringlang
 
 import (
@@ -214,6 +224,29 @@ func failAll(results []Result, words []Word) ([]*Report, error) {
 		reports[i] = r.Report
 	}
 	return reports, nil
+}
+
+// Catalog is the package's run surface in one value: every algorithm,
+// language and schedule name the constructors accept. It is what
+// `ringbench -list` prints and what ringserve serves at /v1/catalog, so the
+// CLI, the HTTP API and the docs-drift CI check all describe the same set.
+type Catalog struct {
+	// Algorithms are the names accepted by NewClient and Recognize.
+	Algorithms []string
+	// Languages are the names accepted by algorithms that take one.
+	Languages []string
+	// Schedules are the names accepted by WithSchedule and Options.Schedule.
+	Schedules []string
+}
+
+// CurrentCatalog returns the algorithm/language/schedule catalogs. The
+// slices are freshly built per call and safe to retain or mutate.
+func CurrentCatalog() Catalog {
+	return Catalog{
+		Algorithms: AlgorithmNames(),
+		Languages:  LanguageNames(),
+		Schedules:  ScheduleNames(),
+	}
 }
 
 // AlgorithmNames lists the algorithms accepted by NewClient and Recognize.
