@@ -52,6 +52,7 @@ type Client struct {
 	seed     int64
 	workers  int
 	trace    bool
+	presize  int
 
 	mu       sync.Mutex
 	pool     *exec.Pool
@@ -64,8 +65,8 @@ type Option func(*Client)
 
 // WithSchedule selects the delivery schedule by name — one of
 // ScheduleNames(): "sequential", "random", "round-robin", "adversarial",
-// "concurrent". The default is sequential. The paper's bounds hold under
-// every schedule; sweeping this knob is how that is checked.
+// "concurrent", "sharded". The default is sequential. The paper's bounds hold
+// under every schedule; sweeping this knob is how that is checked.
 func WithSchedule(name string) Option {
 	return func(c *Client) { c.schedule = name }
 }
@@ -86,6 +87,17 @@ func WithWorkers(n int) Option {
 // expensive on large rings; leave it off in serving paths.
 func WithTrace(record bool) Option {
 	return func(c *Client) { c.trace = record }
+}
+
+// WithPresize pre-reserves each run's backing state — scheduler queues,
+// payload arena, per-processor contexts, per-link stats — for rings of up to
+// n processors, so large-ring runs proceed without growth reallocations. The
+// reservation applies to Recognize and to every pool worker Batch and Stream
+// fan words across. Values smaller than the actual ring are harmless: the run
+// grows past them as usual. Pair with WithSchedule("sharded") when sweeping
+// rings of 10^6 processors.
+func WithPresize(n int) Option {
+	return func(c *Client) { c.presize = n }
 }
 
 // WithEngine pins a concrete engine instead of resolving one from
@@ -208,7 +220,7 @@ func (c *Client) Recognize(ctx context.Context, word Word) (*Report, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace})
+	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace, Presize: c.presize})
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
 	}
@@ -316,7 +328,7 @@ func (c *Client) Stream(ctx context.Context, words []Word) iter.Seq2[int, Result
 func (c *Client) jobs(words []Word) []exec.Job {
 	jobs := make([]exec.Job, len(words))
 	for i, w := range words {
-		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace}
+		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace, Presize: c.presize}
 	}
 	return jobs
 }

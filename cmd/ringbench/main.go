@@ -1,4 +1,4 @@
-// Command ringbench regenerates the experiment tables (E1–E14, A1–A3).
+// Command ringbench regenerates the experiment tables (E1–E15, A1–A3).
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	ringbench -e E13        # the full-factorial schedule sweep
 //	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
 //	ringbench -workers 0 -e E13             # fan sweep cells over all CPUs
+//	ringbench -e E15 -json BENCH_engine.json  # large-ring sweep, machine-readable
 //	ringbench -list         # list experiments plus the algorithm/language/schedule catalogs
 //
 // -workers selects how many goroutines the sweeps fan their (size × schedule)
@@ -57,6 +58,7 @@ func run(args []string) error {
 		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
 		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
 		workers    = fs.Int("workers", 1, "worker goroutines for sweep fan-out (1 = serial, 0 = one per CPU)")
+		jsonPath   = fs.String("json", "", "write the machine-readable records of the experiments that produce them (E15) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,8 +115,13 @@ func run(args []string) error {
 		fmt.Print(figure)
 		return nil
 	}
+	var tables []*bench.Table
 	if *experiment == "" {
-		return bench.RunAll(os.Stdout, suite)
+		tables, err := bench.RunAllTables(os.Stdout, suite)
+		if err != nil {
+			return err
+		}
+		return writeRecords(*jsonPath, suite, tables)
 	}
 	for _, id := range strings.Split(*experiment, ",") {
 		e, err := bench.ByID(strings.TrimSpace(id))
@@ -128,6 +135,24 @@ func run(args []string) error {
 		if err := table.Render(os.Stdout); err != nil {
 			return err
 		}
+		tables = append(tables, table)
 	}
-	return nil
+	return writeRecords(*jsonPath, suite, tables)
+}
+
+// writeRecords writes the tables' machine-readable records to path as one
+// JSON document (see bench.WriteRecordsJSON); an empty path means no output.
+func writeRecords(path string, suite bench.Suite, tables []*bench.Table) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteRecordsJSON(f, suite, tables); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

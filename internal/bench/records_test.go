@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestExperimentE15AndRecordsJSON smoke-runs the large-ring sweep at a small
+// perfect-square size and pins the machine-readable path end to end: one
+// record per (size × engine) cell, bit-identical engines, and a -json
+// document that round-trips through encoding/json.
+func TestExperimentE15AndRecordsJSON(t *testing.T) {
+	table, err := ExperimentE15([]int{1024}, SuiteQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 || len(table.Records) != 2 {
+		t.Fatalf("got %d rows / %d records, want 2/2 (sequential + sharded)", len(table.Rows), len(table.Records))
+	}
+	seq, shr := table.Records[0], table.Records[1]
+	if seq.Schedule != "sequential" || shr.Schedule != "sharded" {
+		t.Fatalf("record schedules %q/%q, want sequential/sharded", seq.Schedule, shr.Schedule)
+	}
+	for _, r := range table.Records {
+		if r.Experiment != "E15" || r.Algorithm != "count" || r.N != 1024 {
+			t.Errorf("record identity fields wrong: %+v", r)
+		}
+		if r.Bits <= 0 || r.Messages != 1024 || r.NsPerOp <= 0 {
+			t.Errorf("record measurements not populated: %+v", r)
+		}
+	}
+	if seq.Bits != shr.Bits {
+		t.Errorf("engines disagree on bits: %d vs %d", seq.Bits, shr.Bits)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, SuiteQuick, []*Table{table}); err != nil {
+		t.Fatal(err)
+	}
+	var set RecordSet
+	if err := json.Unmarshal(buf.Bytes(), &set); err != nil {
+		t.Fatalf("-json document does not round-trip: %v\n%s", err, buf.String())
+	}
+	if set.Suite != "quick" || len(set.Records) != 2 {
+		t.Fatalf("decoded suite %q with %d records, want quick/2", set.Suite, len(set.Records))
+	}
+	if set.Records[0] != seq {
+		t.Errorf("decoded record differs: %+v vs %+v", set.Records[0], seq)
+	}
+}
+
+// TestWriteRecordsJSONEmpty pins the no-records shape: a valid document with
+// an empty records array, not a null.
+func TestWriteRecordsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, SuiteFull, []*Table{{ID: "E1"}}); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["records"]) == "null" {
+		t.Error("records should encode as [] when empty, got null")
+	}
+	if string(raw["suite"]) != `"full"` {
+		t.Errorf("suite = %s, want \"full\"", raw["suite"])
+	}
+}

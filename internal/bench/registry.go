@@ -83,6 +83,16 @@ func Experiments() []Experiment {
 			Run: func(s Suite) (*Table, error) { return ExperimentE13(scale([]int{33, 99, 201}, s)) }},
 		{ID: "E14", Description: "serving tier: memo cache hit ratio on repeated-word traffic (ringserve)",
 			Run: func(s Suite) (*Table, error) { return ExperimentE14(scale([]int{48, 96, 192, 384}, s)) }},
+		{ID: "E15", Description: "large-ring engine: serial vs sharded time/alloc trajectory (count, n to 2^20)",
+			Run: func(s Suite) (*Table, error) {
+				sizes := ScaleSizes
+				if s == SuiteQuick {
+					// Keep the quick suite CI-speed but still past the
+					// pre-sizing threshold where reuse matters.
+					sizes = []int{1 << 12, 1 << 16}
+				}
+				return ExperimentE15(sizes, s)
+			}},
 		{ID: "A1", Description: "ablation: counter encodings",
 			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
 		{ID: "A2", Description: "ablation: DFA minimization",
@@ -119,17 +129,27 @@ func ByID(id string) (Experiment, error) {
 // SetDefaultContext still leaves every finished table on w; the error of
 // the canceled experiment wraps ring.ErrCanceled.
 func RunAll(w io.Writer, suite Suite) error {
+	_, err := RunAllTables(w, suite)
+	return err
+}
+
+// RunAllTables is RunAll returning the completed tables as well, so callers
+// can post-process them (cmd/ringbench -json collects their BenchRecords).
+// On cancellation the tables rendered so far are returned with the error.
+func RunAllTables(w io.Writer, suite Suite) ([]*Table, error) {
+	var tables []*Table
 	for _, e := range Experiments() {
 		if err := defaultCtx.Err(); err != nil {
-			return fmt.Errorf("bench: %w: %w", ring.ErrCanceled, err)
+			return tables, fmt.Errorf("bench: %w: %w", ring.ErrCanceled, err)
 		}
 		table, err := e.Run(suite)
 		if err != nil {
-			return fmt.Errorf("bench: %s: %w", e.ID, err)
+			return tables, fmt.Errorf("bench: %s: %w", e.ID, err)
 		}
 		if err := table.Render(w); err != nil {
-			return err
+			return tables, err
 		}
+		tables = append(tables, table)
 	}
-	return nil
+	return tables, nil
 }

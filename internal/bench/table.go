@@ -21,6 +21,9 @@ type Table struct {
 	Rows [][]string
 	// Notes are free-form remarks appended after the table.
 	Notes []string
+	// Records are the machine-readable measurements behind the rows, for
+	// tables that produce them (see BenchRecord and `ringbench -json`).
+	Records []BenchRecord
 }
 
 // AddRow appends a row of already formatted cells.

@@ -59,6 +59,22 @@ func MustFromBinary(s string) String {
 	return bs
 }
 
+// View wraps the first n bits of data (packed MSB-first, the layout Raw
+// returns) as a String without copying. The view aliases data: it is valid
+// only for as long as the caller keeps those bytes intact. The engine's
+// payload arenas use it to hand queued messages back out of flat storage.
+func View(data []byte, n int) String {
+	return String{data: data, n: n}
+}
+
+// Raw returns the packed backing bytes of the string — ceil(Len/8) bytes,
+// MSB-first, with any trailing bits of the last byte unspecified. The slice
+// aliases the string's storage and must not be mutated; pair with View to
+// move payloads through flat byte arenas without re-encoding bit by bit.
+func (s String) Raw() []byte {
+	return s.data[:(s.n+7)/8]
+}
+
 // Len returns the number of bits in the string.
 func (s String) Len() int {
 	return s.n

@@ -35,7 +35,7 @@ type RunOptions struct {
 	Engine ring.Engine
 	// Schedule names a built-in delivery schedule — one of
 	// ring.ScheduleNames: "sequential", "random", "round-robin",
-	// "adversarial", "concurrent". Ignored when Engine is non-nil.
+	// "adversarial", "concurrent", "sharded". Ignored when Engine is non-nil.
 	Schedule string
 	// Seed drives randomized schedules (Schedule == "random").
 	Seed int64
@@ -47,6 +47,13 @@ type RunOptions struct {
 	// until State's next run; snapshot Stats with Clone to retain it. Engines
 	// without state support (the concurrent engine) ignore it.
 	State *ring.RunState
+	// Presize, when positive, pre-reserves State's backing arrays for a ring
+	// of that many processors before the run starts, so a large-ring run
+	// proceeds without queue- or context-growth reallocations. When State is
+	// nil and the engine supports reuse, a transient pre-sized state is
+	// created for the run. Values smaller than the word length are harmless:
+	// the run grows past them as usual.
+	Presize int
 	// Ctx, when non-nil, cancels the run: the engine aborts with an error
 	// matching ring.ErrCanceled (and the context's own error) under
 	// errors.Is. Cancellation is checked at amortized cost, so the hot path
@@ -96,8 +103,15 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 		Ctx:            opts.Ctx,
 	}
 	var res *ring.Result
-	if se, ok := engine.(ring.StatefulEngine); ok && opts.State != nil {
-		res, err = se.RunWith(opts.State, cfg, nodes)
+	if se, ok := engine.(ring.StatefulEngine); ok && (opts.State != nil || opts.Presize > 0) {
+		st := opts.State
+		if st == nil {
+			st = ring.NewRunState()
+		}
+		if opts.Presize > 0 {
+			st.Reserve(opts.Presize)
+		}
+		res, err = se.RunWith(st, cfg, nodes)
 	} else {
 		res, err = engine.Run(cfg, nodes)
 	}

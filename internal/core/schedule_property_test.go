@@ -32,6 +32,12 @@ func scheduleAxis(t *testing.T) []ring.Engine {
 	for seed := int64(1); seed <= 5; seed++ {
 		engines = append(engines, ring.NewRandomOrderEngine(seed))
 	}
+	// The sharded engine with forced worker counts: the automatic sizing
+	// would fall back to the serial loop on property-sized rings, and the
+	// bit-identity claim is about the genuinely parallel path.
+	for _, workers := range []int{2, 3, 8} {
+		engines = append(engines, ring.NewShardedEngineWorkers(workers))
+	}
 	for _, name := range ring.ScheduleNames() {
 		eng, err := ring.NewEngineByName(name, 17)
 		if err != nil {

@@ -33,6 +33,10 @@ type Job struct {
 	// RecordTrace records the full event trace of the run. The returned
 	// trace is freshly built per run and safe to retain.
 	RecordTrace bool
+	// Presize, when positive, pre-reserves the worker's reusable run state
+	// for a ring of that many processors before the run, so large-ring jobs
+	// proceed without growth reallocations (see core.RunOptions.Presize).
+	Presize int
 }
 
 // Result is the outcome of one Job. Stats is an independent snapshot: it
@@ -230,7 +234,7 @@ func (w *worker) run(ctx context.Context, job Job) Result {
 		st = ring.NewRunState()
 		w.states[engine] = st
 	}
-	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace}
+	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace, Presize: job.Presize}
 	var res *ring.Result
 	if job.Check {
 		res, err = core.Check(job.Rec, job.Word, opts)

@@ -70,7 +70,7 @@ func (st *concState) finish(err error) {
 func (st *concState) record(fromProc, toProc int, dir, arrival Direction, payload bits.String) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.stats.record(fromProc, toProc, arrival, payload)
+	st.stats.record(toProc, arrival, payload)
 	if st.cfg.RecordTrace {
 		st.trace = append(st.trace, Event{Seq: st.seq, Kind: EventSend, Processor: fromProc, Dir: dir, Payload: payload})
 		st.seq++

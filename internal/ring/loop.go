@@ -66,10 +66,7 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 	n := len(nodes)
 	lp := &st.loop
 	lp.reset(cfg, n)
-	if cap(st.contexts) < n {
-		st.contexts = make([]Context, n)
-	}
-	contexts := st.contexts[:n]
+	contexts := st.resetContexts(n)
 	for i := range contexts {
 		// Field-wise reset keeps each context's scratch writer (and its grown
 		// buffer) alive across the runs of a reused RunState.
@@ -91,7 +88,7 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 				// sender's next message — snapshot it.
 				s.Payload = s.Payload.Clone()
 			}
-			lp.stats.record(fromProc, to, arrival, s.Payload)
+			lp.stats.record(to, arrival, s.Payload)
 			if cfg.RecordTrace {
 				lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
 				lp.seq++
@@ -143,7 +140,9 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 		}
 		delivered++
 		if cfg.RecordTrace {
-			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload})
+			// A payload popped from the FIFO arena is recycled a couple of
+			// deliveries later; the trace outlives that, so snapshot it.
+			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload.Clone()})
 			lp.seq++
 		}
 		sends, err := nodes[d.To].Receive(&contexts[d.To], d.From, d.Payload)

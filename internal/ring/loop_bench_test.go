@@ -70,7 +70,7 @@ func seedSequentialRun(cfg Config, nodes []Node) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			stats.record(fromProc, to, arrival, s.Payload)
+			stats.record(to, arrival, s.Payload)
 			addEvent(Event{Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
 			seq++
 			queue = append(queue, pendingDelivery{to: to, from: arrival, payload: s.Payload})
@@ -162,7 +162,7 @@ func seedRandomOrderRun(cfg Config, nodes []Node, seedVal int64) (*Result, error
 			if err != nil {
 				return err
 			}
-			stats.record(fromProc, to, arrival, s.Payload)
+			stats.record(to, arrival, s.Payload)
 			key := linkKey{to: to, from: arrival}
 			q := queues[key]
 			if len(q) == 0 {

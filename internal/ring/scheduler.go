@@ -36,18 +36,20 @@ type Scheduler interface {
 }
 
 // fifoScheduler delivers messages in global first-in-first-out order — the
-// schedule the seed SequentialEngine hardcoded. One shared deque suffices:
-// global FIFO trivially preserves per-link FIFO.
+// schedule the seed SequentialEngine hardcoded. One shared queue suffices:
+// global FIFO trivially preserves per-link FIFO. The queue is the
+// struct-of-arrays fifoQueue, so the default engine's in-flight messages
+// live in one flat arena.
 type fifoScheduler struct {
-	q deque
+	q fifoQueue
 }
 
 // NewFIFOScheduler returns the deterministic global-FIFO schedule.
 func NewFIFOScheduler() Scheduler { return &fifoScheduler{} }
 
 func (s *fifoScheduler) Name() string              { return "fifo" }
-func (s *fifoScheduler) Reset(links int)           { s.q.clear() }
-func (s *fifoScheduler) Push(link int, d Delivery) { s.q.push(d) }
+func (s *fifoScheduler) Reset(links int)           { s.q.reset() }
+func (s *fifoScheduler) Push(link int, d Delivery) { s.q.push(d.To, d.From, d.Payload) }
 
 func (s *fifoScheduler) Next() (Delivery, bool) {
 	if s.q.len() == 0 {
@@ -89,7 +91,7 @@ func (s *randomScheduler) Next() (Delivery, bool) {
 	i := s.rng.Intn(len(s.nonEmpty))
 	link := s.nonEmpty[i]
 	d := s.links.pop(link)
-	if s.links.lenOf(link) == 0 {
+	if s.links.empty(link) {
 		s.nonEmpty[i] = s.nonEmpty[len(s.nonEmpty)-1]
 		s.nonEmpty = s.nonEmpty[:len(s.nonEmpty)-1]
 	}
@@ -121,13 +123,13 @@ func (s *roundRobinScheduler) Next() (Delivery, bool) {
 	if s.links.pending == 0 {
 		return Delivery{}, false
 	}
-	n := len(s.links.qs)
+	n := len(s.links.head)
 	for i := 0; i < n; i++ {
 		link := s.cursor + i
 		if link >= n {
 			link -= n
 		}
-		if s.links.lenOf(link) > 0 {
+		if !s.links.empty(link) {
 			s.cursor = link + 1
 			if s.cursor == n {
 				s.cursor = 0
@@ -201,14 +203,14 @@ func (s *adversarialScheduler) Next() (Delivery, bool) {
 	if s.count%s.bound == 0 {
 		link = s.popOldest()
 		d := s.links.pop(link)
-		if s.links.lenOf(link) > 0 {
+		if !s.links.empty(link) {
 			s.oldest = append(s.oldest, link)
 		}
 		return d, true
 	}
 	link = s.popNewest()
 	d := s.links.pop(link)
-	if s.links.lenOf(link) > 0 {
+	if !s.links.empty(link) {
 		s.newest = append(s.newest, link)
 	}
 	return d, true
@@ -219,7 +221,7 @@ func (s *adversarialScheduler) popNewest() int {
 	for {
 		link := s.newest[len(s.newest)-1]
 		s.newest = s.newest[:len(s.newest)-1]
-		if s.links.lenOf(link) > 0 {
+		if !s.links.empty(link) {
 			return link
 		}
 	}
@@ -234,7 +236,7 @@ func (s *adversarialScheduler) popOldest() int {
 			s.oldest = append(s.oldest[:0], s.oldest[s.oldestAt:]...)
 			s.oldestAt = 0
 		}
-		if s.links.lenOf(link) > 0 {
+		if !s.links.empty(link) {
 			return link
 		}
 	}
@@ -242,10 +244,11 @@ func (s *adversarialScheduler) popOldest() int {
 
 // ScheduleNames lists the schedule names accepted by NewSchedulerByName and
 // NewEngineByName (and hence by every -engine/-schedule flag and the facade's
-// Options.Schedule). "concurrent" is special: it names the
-// goroutine-per-processor engine rather than a scheduler-backed one.
+// Options.Schedule). "concurrent" and "sharded" are special: they name the
+// goroutine-per-processor and segment-sharded engines rather than
+// scheduler-backed ones.
 func ScheduleNames() []string {
-	return []string{"sequential", "random", "round-robin", "adversarial", "concurrent"}
+	return []string{"sequential", "random", "round-robin", "adversarial", "concurrent", "sharded"}
 }
 
 // CanonicalScheduleName folds the accepted aliases — "fifo" for
@@ -321,6 +324,8 @@ func NewEngineByName(name string, seed int64) (Engine, error) {
 		return NewRandomOrderEngine(seed), nil
 	case "concurrent":
 		return NewConcurrentEngine(), nil
+	case "sharded":
+		return NewShardedEngine(), nil
 	}
 	factory, err := schedulerFactoryByName(name, seed)
 	if err != nil {

@@ -4,33 +4,96 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"ringlang/internal/bits"
 )
 
-// mark builds a Delivery whose To field tags it, so scheduler unit tests can
-// track ordering without inspecting payloads.
-func mark(tag int) Delivery { return Delivery{To: tag} }
-
-func TestDequePushPopWrapAndGrow(t *testing.T) {
-	var d deque
-	if d.len() != 0 {
-		t.Fatal("new deque should be empty")
+// tagged builds a Delivery consistent with the given link id (the queues
+// recompute endpoints from the id, so To/From must match it) carrying tag as
+// an 8-bit payload, which is how these unit tests track ordering.
+func tagged(link, tag int) Delivery {
+	var w bits.Writer
+	for i := 7; i >= 0; i-- {
+		w.WriteBool(tag>>uint(i)&1 == 1)
 	}
-	// Interleave pushes and pops so head wraps around the buffer, then grow
-	// past the initial capacity.
+	return Delivery{To: link >> 1, From: Direction(link&1 + 1), Payload: w.String()}
+}
+
+// tagOf decodes a tagged delivery's payload.
+func tagOf(d Delivery) int {
+	tag := 0
+	for i := 0; i < 8; i++ {
+		b, _ := d.Payload.Bit(i)
+		tag <<= 1
+		if b {
+			tag |= 1
+		}
+	}
+	return tag
+}
+
+func TestFifoQueuePushPopWrapAndGrow(t *testing.T) {
+	var q fifoQueue
+	if q.len() != 0 {
+		t.Fatal("new queue should be empty")
+	}
+	payload := oneBit()
+	// Interleave pushes and pops so the slot ring's head wraps around the
+	// buffer, then grow past the initial capacity.
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 100; i++ {
-			d.push(mark(round*100 + i))
+			q.push(round*100+i, Forward, payload)
 		}
 		for i := 0; i < 100; i++ {
-			if got := d.pop(); got.To != round*100+i {
-				t.Fatalf("round %d: pop = %d, want %d", round, got.To, round*100+i)
+			if got := q.pop(); got.To != round*100+i || got.From != Forward {
+				t.Fatalf("round %d: pop = %+v, want To=%d", round, got, round*100+i)
 			}
 		}
 	}
-	d.push(mark(7))
-	d.clear()
-	if d.len() != 0 {
-		t.Error("clear should empty the deque")
+	q.push(7, Forward, payload)
+	q.reset()
+	if q.len() != 0 {
+		t.Error("reset should empty the queue")
+	}
+}
+
+// TestFifoQueuePayloadArenaIntegrity drives the payload arena through wraps,
+// contiguity padding and mid-flight growth with variable-length payloads, and
+// checks every popped view still decodes to the bits that were pushed.
+func TestFifoQueuePayloadArenaIntegrity(t *testing.T) {
+	mk := func(i int) bits.String {
+		var w bits.Writer
+		for b := 0; b <= i%23; b++ {
+			w.WriteBool((i>>uint(b%8))&1 == 1)
+		}
+		return w.String()
+	}
+	var q fifoQueue
+	next, popped := 0, 0
+	for next < 600 {
+		for k := 0; k < 3 && next < 600; k++ {
+			q.push(next&7, Backward, mk(next))
+			next++
+		}
+		// Keep one message in flight so the arena head trails the tail and
+		// wrap padding actually happens.
+		for q.len() > 1 {
+			d := q.pop()
+			if !d.Payload.Equal(mk(popped)) {
+				t.Fatalf("message %d: payload = %v, want %v", popped, d.Payload, mk(popped))
+			}
+			popped++
+		}
+	}
+	for q.len() > 0 {
+		d := q.pop()
+		if !d.Payload.Equal(mk(popped)) {
+			t.Fatalf("drain %d: payload = %v, want %v", popped, d.Payload, mk(popped))
+		}
+		popped++
+	}
+	if popped != 600 {
+		t.Fatalf("popped %d messages, want 600", popped)
 	}
 }
 
@@ -44,19 +107,19 @@ func TestSchedulersPreservePerLinkFIFO(t *testing.T) {
 	for _, s := range scheds {
 		s.Reset(8)
 		// Three messages on link 2 interleaved with traffic on links 0 and 5.
-		s.Push(2, mark(20))
-		s.Push(0, mark(0))
-		s.Push(2, mark(21))
-		s.Push(5, mark(50))
-		s.Push(2, mark(22))
+		s.Push(2, tagged(2, 20))
+		s.Push(0, tagged(0, 1))
+		s.Push(2, tagged(2, 21))
+		s.Push(5, tagged(5, 50))
+		s.Push(2, tagged(2, 22))
 		var link2 []int
 		for {
 			d, ok := s.Next()
 			if !ok {
 				break
 			}
-			if d.To >= 20 && d.To < 30 {
-				link2 = append(link2, d.To)
+			if tag := tagOf(d); tag >= 20 && tag < 30 {
+				link2 = append(link2, tag)
 			}
 		}
 		if len(link2) != 3 || link2[0] != 20 || link2[1] != 21 || link2[2] != 22 {
@@ -77,8 +140,8 @@ func TestSchedulerResetDiscardsState(t *testing.T) {
 	}
 	for _, s := range scheds {
 		s.Reset(4)
-		s.Push(1, mark(1))
-		s.Push(3, mark(3))
+		s.Push(1, tagged(1, 1))
+		s.Push(3, tagged(3, 3))
 		s.Reset(4)
 		if d, ok := s.Next(); ok {
 			t.Errorf("%s: Reset leaked a pending delivery: %+v", s.Name(), d)
@@ -91,17 +154,17 @@ func TestRoundRobinCyclesLinks(t *testing.T) {
 	s.Reset(6)
 	// Two messages each on links 1 and 4; round-robin must alternate links
 	// rather than drain one first.
-	s.Push(1, mark(10))
-	s.Push(1, mark(11))
-	s.Push(4, mark(40))
-	s.Push(4, mark(41))
+	s.Push(1, tagged(1, 10))
+	s.Push(1, tagged(1, 11))
+	s.Push(4, tagged(4, 40))
+	s.Push(4, tagged(4, 41))
 	var order []int
 	for {
 		d, ok := s.Next()
 		if !ok {
 			break
 		}
-		order = append(order, d.To)
+		order = append(order, tagOf(d))
 	}
 	want := []int{10, 40, 11, 41}
 	for i := range want {
@@ -114,14 +177,14 @@ func TestRoundRobinCyclesLinks(t *testing.T) {
 func TestAdversarialPrefersNewestLink(t *testing.T) {
 	s := NewAdversarialScheduler(100) // fairness bound far away
 	s.Reset(6)
-	s.Push(0, mark(0))
-	s.Push(1, mark(1))
-	s.Push(2, mark(2))
+	s.Push(0, tagged(0, 100))
+	s.Push(1, tagged(1, 101))
+	s.Push(2, tagged(2, 102))
 	// Newest-first: link 2, then 1, then 0.
-	for _, want := range []int{2, 1, 0} {
+	for _, want := range []int{102, 101, 100} {
 		d, ok := s.Next()
-		if !ok || d.To != want {
-			t.Fatalf("adversarial delivery = %+v (ok=%v), want link %d", d, ok, want)
+		if !ok || tagOf(d) != want {
+			t.Fatalf("adversarial delivery tag = %d (ok=%v), want %d", tagOf(d), ok, want)
 		}
 	}
 }
@@ -129,15 +192,15 @@ func TestAdversarialPrefersNewestLink(t *testing.T) {
 func TestAdversarialFairnessBoundServesOldestLink(t *testing.T) {
 	s := NewAdversarialScheduler(2) // every 2nd delivery serves the oldest link
 	s.Reset(4)
-	s.Push(0, mark(0)) // oldest
-	s.Push(1, mark(10))
-	s.Push(1, mark(11))
-	s.Push(1, mark(12))
+	s.Push(0, tagged(0, 1)) // oldest
+	s.Push(1, tagged(1, 10))
+	s.Push(1, tagged(1, 11))
+	s.Push(1, tagged(1, 12))
 	// Delivery 1: newest link (1). Delivery 2: fairness, oldest link (0).
 	first, _ := s.Next()
 	second, _ := s.Next()
-	if first.To != 10 || second.To != 0 {
-		t.Errorf("deliveries = %d, %d; want 10 then 0 (fairness on 2nd)", first.To, second.To)
+	if tagOf(first) != 10 || tagOf(second) != 1 {
+		t.Errorf("delivery tags = %d, %d; want 10 then 1 (fairness on 2nd)", tagOf(first), tagOf(second))
 	}
 }
 

@@ -20,10 +20,13 @@ type LinkStats struct {
 // Stats is the bit/message accounting of one execution. It is computed by
 // the engine; algorithms never report their own costs.
 //
-// Per-link traffic is stored densely: one LinkStats slot per directed link id
-// (see linkIndex), so the hot path indexes an array instead of hashing a map
-// key per message. The map the seed code exposed survives as the lazily-built
-// view returned by PerLink.
+// Per-link traffic is stored struct-of-arrays: two flat counter arrays
+// indexed by directed link id (see linkIndex), so the hot path touches two
+// dense cache lines per message instead of a 4-field struct slot — and the
+// endpoints are never stored at all, because a link id already encodes its
+// receiver and arrival direction (the sender follows from the ring
+// topology). The map the seed code exposed survives as the lazily-built view
+// returned by PerLink; LinkStats values are materialized only there.
 type Stats struct {
 	// Processors is the ring size n.
 	Processors int
@@ -35,12 +38,20 @@ type Stats struct {
 	// MaxMessageBits is the largest single message payload.
 	MaxMessageBits int
 
-	// perLink is indexed by linkIndex(to, arrival); a slot with Messages == 0
-	// never carried traffic. It is allocated lazily on the first record so a
-	// run that sends nothing allocates nothing.
-	perLink []LinkStats
+	// linkMsgs and linkBits are indexed by linkIndex(to, arrival); a slot
+	// with zero messages never carried traffic. They are allocated lazily on
+	// the first record so a run that sends nothing allocates nothing. The
+	// sharded engine writes them directly from its workers — every directed
+	// link has exactly one sending processor, hence exactly one writing
+	// worker, so the arrays need no synchronization beyond the final join.
+	linkMsgs []int32
+	linkBits []int64
 	// view is the cached result of PerLink, invalidated on every record.
 	view map[[2]int]*LinkStats
+
+	// oversizedRuns counts consecutive resets that needed far less per-link
+	// capacity than is retained, driving the shrink policy (see maybeShrink).
+	oversizedRuns int
 }
 
 // newStats allocates a Stats for a ring of n processors.
@@ -49,8 +60,10 @@ func newStats(n int) *Stats {
 }
 
 // reset prepares the Stats for a fresh run on a ring of n processors, keeping
-// the per-link backing array when its capacity suffices. This is what makes a
-// Stats reusable across the runs of a batch worker.
+// the per-link backing arrays when their capacity suffices. This is what
+// makes a Stats reusable across the runs of a batch worker. Capacity far
+// beyond the new size is released after enough consecutive small runs (the
+// RunState shrink policy), so one huge run does not pin its arrays forever.
 func (s *Stats) reset(n int) {
 	s.Processors = n
 	s.Messages = 0
@@ -58,36 +71,64 @@ func (s *Stats) reset(n int) {
 	s.MaxMessageBits = 0
 	s.view = nil
 	links := numLinks(n)
-	if cap(s.perLink) >= links {
-		s.perLink = s.perLink[:links]
-		for i := range s.perLink {
-			s.perLink[i] = LinkStats{}
+	if shouldShrink(cap(s.linkMsgs), links, &s.oversizedRuns) {
+		s.linkMsgs = nil
+		s.linkBits = nil
+	}
+	if cap(s.linkMsgs) >= links {
+		s.linkMsgs = s.linkMsgs[:links]
+		s.linkBits = s.linkBits[:links]
+		for i := range s.linkMsgs {
+			s.linkMsgs[i] = 0
+			s.linkBits[i] = 0
 		}
 	} else {
-		s.perLink = nil // reallocated lazily at the new size
+		s.linkMsgs = nil // reallocated lazily at the new size
+		s.linkBits = nil
 	}
 }
 
-// record accounts one message sent from processor `from` to processor `to`,
-// arriving from direction `arrival` as the receiver perceives it (the pair
-// (to, arrival) names the directed link, see linkIndex).
-func (s *Stats) record(from, to int, arrival Direction, payload bits.String) {
+// ensureLinks materializes the per-link counter arrays at full size. The
+// serial loop lets record do this lazily; the sharded engine calls it before
+// launching workers so no two workers race the allocation.
+func (s *Stats) ensureLinks() {
+	if s.linkMsgs == nil {
+		s.linkMsgs = make([]int32, numLinks(s.Processors))
+		s.linkBits = make([]int64, numLinks(s.Processors))
+	}
+}
+
+// record accounts one message sent to processor `to`, arriving from
+// direction `arrival` as the receiver perceives it (the pair (to, arrival)
+// names the directed link, see linkIndex; the sender is implied by the
+// topology).
+func (s *Stats) record(to int, arrival Direction, payload bits.String) {
 	n := payload.Len()
 	s.Messages++
 	s.Bits += n
 	if n > s.MaxMessageBits {
 		s.MaxMessageBits = n
 	}
-	if s.perLink == nil {
-		s.perLink = make([]LinkStats, numLinks(s.Processors))
-	}
-	ls := &s.perLink[linkIndex(to, arrival)]
-	if ls.Messages == 0 {
-		ls.From, ls.To = from, to
-	}
-	ls.Messages++
-	ls.Bits += n
+	s.ensureLinks()
+	link := linkIndex(to, arrival)
+	s.linkMsgs[link]++
+	s.linkBits[link] += int64(n)
 	s.view = nil
+}
+
+// linkStatsAt materializes the LinkStats of one directed link id, deriving
+// the endpoints from the id: the receiver is link>>1, the arrival direction
+// is the low bit, and the sender is the receiver's neighbour in the arrival
+// direction.
+func (s *Stats) linkStatsAt(link int) LinkStats {
+	to := link >> 1
+	arrival := Direction(link&1 + 1)
+	return LinkStats{
+		From:     neighbour(to, arrival, s.Processors),
+		To:       to,
+		Messages: int(s.linkMsgs[link]),
+		Bits:     int(s.linkBits[link]),
+	}
 }
 
 // Links returns the links that carried at least one message, ordered by
@@ -119,11 +160,11 @@ func (s *Stats) PerLink() map[[2]int]*LinkStats {
 		return s.view
 	}
 	view := make(map[[2]int]*LinkStats)
-	for i := range s.perLink {
-		if s.perLink[i].Messages == 0 {
+	for i := range s.linkMsgs {
+		if s.linkMsgs[i] == 0 {
 			continue
 		}
-		ls := s.perLink[i]
+		ls := s.linkStatsAt(i)
 		key := [2]int{ls.From, ls.To}
 		if prev, ok := view[key]; ok {
 			prev.Messages += ls.Messages
@@ -142,8 +183,9 @@ func (s *Stats) PerLink() map[[2]int]*LinkStats {
 func (s *Stats) Clone() *Stats {
 	c := *s
 	c.view = nil
-	if s.perLink != nil {
-		c.perLink = append([]LinkStats(nil), s.perLink...)
+	if s.linkMsgs != nil {
+		c.linkMsgs = append([]int32(nil), s.linkMsgs...)
+		c.linkBits = append([]int64(nil), s.linkBits...)
 	}
 	return &c
 }
