@@ -1,0 +1,84 @@
+// Command ringvet runs the repo-specific static-analysis suite
+// (internal/analysis) over the module: ringdeterminism, hotpathalloc,
+// ctxflow and errsentinel. It is the static tier of the invariant
+// enforcement the runtime guards (goldens, alloc-regression tests,
+// cross-engine property tests) provide dynamically, and runs as a required
+// CI step.
+//
+// Usage:
+//
+//	go run ./cmd/ringvet [-tests=false] [-list] [packages...]
+//
+// Packages default to ./... . Exit status 1 means findings were reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ringlang/internal/analysis"
+	"ringlang/internal/analysis/load"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "also analyze _test.go files (test-augmented package variants)")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ringvet [-tests=false] [-list] [packages...]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		printSuite(flag.CommandLine.Output())
+	}
+	flag.Parse()
+
+	if *list {
+		printSuite(os.Stdout)
+		return
+	}
+
+	pkgs, err := load.Load(".", *tests, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	wd, _ := os.Getwd()
+	suite := analysis.All()
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(analysis.Target{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		}, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ringvet: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings++
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if wd != "" {
+				if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ringvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func printSuite(w io.Writer) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "  %-16s %s\n", a.Name, a.Doc)
+	}
+}

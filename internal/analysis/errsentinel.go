@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ErrSentinel enforces the typed-sentinel error contract the facade
+// established in PR 4: failures are classified with errors.Is against
+// ErrCanceled, ErrClosed, ErrUnknownAlgorithm and friends — never by
+// pointer-comparing error values (breaks the moment a sentinel is wrapped
+// with %w, which every layer here does) and never by matching err.Error()
+// text (breaks when a message is reworded, and messages are not API).
+//
+// Flagged, everywhere (no directive needed):
+//   - err == sentinel / err != sentinel (nil comparisons stay legal);
+//   - switch err { case sentinel: } over an error value;
+//   - err.Error() compared against or searched for a string
+//     (==, !=, strings.Contains/HasPrefix/HasSuffix/EqualFold/Index).
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "require errors.Is against typed sentinels: no == on error values, " +
+		"no string matching on err.Error()",
+	Run: runErrSentinel,
+}
+
+// stringMatchFuncs are the strings-package predicates that, applied to
+// err.Error(), amount to matching an error by its message.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+func runErrSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrTextMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrComparison flags ==/!= between two error values.
+func checkErrComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNilExpr(pass.TypesInfo, be.X) || isNilExpr(pass.TypesInfo, be.Y) {
+		return
+	}
+	if errErrorCall(pass, be.X) != nil || errErrorCall(pass, be.Y) != nil {
+		pass.Reportf(be.Pos(), "comparing err.Error() text; compare with errors.Is against a typed sentinel — messages are not API")
+		return
+	}
+	if isErrorType(pass.TypesInfo.TypeOf(be.X)) && isErrorType(pass.TypesInfo.TypeOf(be.Y)) {
+		pass.Reportf(be.Pos(), "error values compared with %s; use errors.Is, which sees through %%w wrapping", be.Op)
+	}
+}
+
+// checkErrSwitch flags `switch err { case sentinel: }`.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(sw.Tag)) {
+		return
+	}
+	for _, cl := range sw.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNilExpr(pass.TypesInfo, e) {
+				pass.Reportf(e.Pos(), "switching on an error value compares with ==; use errors.Is, which sees through %%w wrapping")
+			}
+		}
+	}
+}
+
+// checkErrTextMatch flags strings.Contains(err.Error(), ...) and friends.
+func checkErrTextMatch(pass *Pass, call *ast.CallExpr) {
+	pkg, name := calleePkgFunc(pass.TypesInfo, call)
+	if pkg != "strings" || !stringMatchFuncs[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if errErrorCall(pass, arg) != nil {
+			pass.Reportf(call.Pos(), "matching err.Error() text with strings.%s; classify with errors.Is against a typed sentinel — messages are not API", name)
+			return
+		}
+	}
+}
+
+// errErrorCall returns the inner call if e is `<error value>.Error()`.
+func errErrorCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return nil
+	}
+	if !isErrorType(pass.TypesInfo.TypeOf(sel.X)) {
+		return nil
+	}
+	return call
+}

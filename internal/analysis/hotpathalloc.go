@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc flags allocation-prone constructs inside functions marked
+// //ring:hotpath — the per-message code the 3-allocs-per-run budget of the
+// large-ring engine depends on (fifoQueue push/pop, Stats.record, runLoop
+// delivery, the memo hit path, the SPSC boundary handoff). It is the static
+// face of the runtime guards named by each directive's guard= attribute
+// (TestEngineLoopAllocRegressionGuard and friends): the guard measures the
+// paths a test drives, the analyzer rejects the construct on every path.
+//
+// Flagged: fmt calls (except fmt.Errorf building a returned error — error
+// construction ends the run), string concatenation, map/chan literals and
+// makes, append into backing not visibly presized (first argument not a
+// slice expression; assert managed growth with //ring:prealloc), implicit
+// interface conversions at call sites, and capturing closures that escape
+// or sit inside a loop.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flag allocation-prone constructs (fmt, string concat, map literals, growing append, " +
+		"interface conversions, escaping closures) in //ring:hotpath functions",
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			if !pass.FuncMarks(n.Pos()).Hotpath {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkHotCall(pass, n, stack)
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isStringExpr(pass, n) && !isConstExpr(pass, n) {
+					pass.Reportf(n.Pos(), "string concatenation allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+					pass.Reportf(n.Pos(), "string concatenation (+=) allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
+				}
+			case *ast.CompositeLit:
+				if _, ok := pass.TypesInfo.TypeOf(n).Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map literal allocates on the hot path; hoist it to init-time state")
+				}
+			case *ast.FuncLit:
+				checkHotClosure(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHotCall handles the call-shaped rules: fmt, append, make(map/chan),
+// explicit and implicit interface conversions.
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Explicit conversion T(x) to an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type.Underlying()) && len(call.Args) == 1 && isConcreteValue(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand on the hot path", exprString(call.Fun))
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if _, presized := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !presized && !pass.Prealloc(call.Pos()) {
+					pass.Reportf(call.Pos(), "append may grow %s on the hot path; append into a re-sliced scratch buffer, or assert presized backing with //ring:prealloc", exprString(call.Args[0]))
+				}
+			case "make":
+				switch pass.TypesInfo.TypeOf(call).Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(call.Pos(), "make(map) allocates on the hot path; hoist it to init-time state")
+				case *types.Chan:
+					pass.Reportf(call.Pos(), "make(chan) allocates on the hot path; hoist it to init-time state")
+				}
+			}
+			return
+		}
+	}
+
+	pkg, name := calleePkgFunc(pass.TypesInfo, call)
+	if pkg == "fmt" {
+		if name == "Errorf" && inReturn(stack) {
+			return // constructing the error that ends the run is fine
+		}
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting state and interface boxing) on the hot path", name)
+		return
+	}
+
+	// Implicit interface conversions at the call boundary: a concrete
+	// argument passed to an interface-typed parameter is boxed.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if call.Ellipsis != token.NoPos {
+		return // the spread slice itself is not converted element-wise
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		if isConcreteValue(pass, arg) {
+			pass.Reportf(arg.Pos(), "passing concrete %s as interface parameter boxes it on the hot path", pass.TypesInfo.TypeOf(arg))
+		}
+	}
+}
+
+// checkHotClosure flags capturing closures that either escape (call
+// argument, return value, go/defer, field/channel/global assignment) or are
+// built inside a loop. A non-escaping closure bound to a local variable is
+// stack-allocated and free — that is the shape memo.Key.hash and the loop's
+// verdictSink rely on.
+func checkHotClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
+	if !capturesOuter(pass, lit) {
+		return
+	}
+	if escapes, how := closureEscapes(pass, lit, stack); escapes {
+		pass.Reportf(lit.Pos(), "capturing closure %s on the hot path allocates its environment; pass state explicitly (see verdictSink)", how)
+		return
+	}
+	for _, anc := range stack {
+		switch anc.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			pass.Reportf(lit.Pos(), "capturing closure built inside a loop on the hot path allocates per iteration; hoist it out of the loop")
+			return
+		}
+	}
+}
+
+// closureEscapes reports whether the closure's syntactic position lets it
+// outlive the enclosing frame.
+func closureEscapes(pass *Pass, lit *ast.FuncLit, stack []ast.Node) (bool, string) {
+	if len(stack) == 0 {
+		return false, ""
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(parent.Fun) == ast.Expr(lit) {
+			return false, "" // immediately invoked
+		}
+		return true, "passed as a call argument"
+	case *ast.ReturnStmt:
+		return true, "returned"
+	case *ast.GoStmt:
+		return true, "launched as a goroutine"
+	case *ast.DeferStmt:
+		return true, "deferred"
+	case *ast.SendStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		return true, "stored"
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != ast.Expr(lit) || i >= len(parent.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(parent.Lhs[i]).(*ast.Ident); ok {
+				if v, ok := objOf(pass, id).(*types.Var); ok && !v.IsField() && v.Parent() != pass.Pkg.Scope() {
+					return false, "" // bound to a local: stays on the stack
+				}
+			}
+			return true, "stored"
+		}
+	}
+	return false, ""
+}
+
+// capturesOuter reports whether the literal references variables declared
+// outside it (including the enclosing function's parameters and receiver).
+func capturesOuter(pass *Pass, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// inReturn reports whether the innermost statement on the stack is a return.
+func inReturn(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether e's type is (an alias or named form of)
+// string.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression folded to a constant (constant
+// concatenation happens at compile time).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isConcreteValue reports whether arg is a non-interface, non-nil value —
+// the kind that gets boxed when handed to an interface parameter.
+func isConcreteValue(pass *Pass, arg ast.Expr) bool {
+	if isNilExpr(pass.TypesInfo, arg) {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type.Underlying()) && !isTypeParam(tv.Type)
+}
+
+// isTypeParam reports whether t is a generic type parameter (its boxing
+// behaviour depends on the instantiation, so we stay silent).
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}
+
+// objOf resolves an identifier to its object (uses first, then defs).
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

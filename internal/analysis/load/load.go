@@ -1,0 +1,235 @@
+// Package load type-checks the module's packages for the ringvet analyzers
+// without depending on golang.org/x/tools/go/packages: it drives `go list
+// -export -deps -json` to enumerate packages and locate their compiled
+// export data in the build cache, parses the target packages' sources, and
+// type-checks them with the standard library's gc importer reading that
+// export data. The module has zero third-party dependencies, so every
+// import resolves to either the standard library or an in-module package —
+// both covered by export data from one go list invocation.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	// ImportPath is the go list import path; test variants keep their
+	// bracketed form ("pkg [pkg.test]").
+	ImportPath string
+	// Dir is the package directory.
+	Dir string
+	// Fset is shared across every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types and Info are the full type-check results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ForTest    string
+	Standard   bool
+}
+
+// Load enumerates, parses and type-checks the module packages matched by
+// patterns (e.g. "./..."), rooted at dir. With tests true, in-package and
+// external test units are included — each package is then analyzed as its
+// test-augmented variant, so _test.go files are covered too. The build must
+// be passing: Load surfaces go list / type-check failures as errors.
+func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modPath, err := goList(dir, "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("resolving module path: %w", err)
+	}
+	module := strings.TrimSpace(modPath)
+
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,GoFiles,ForTest,Standard"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	out, err := goRun(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	var listed []listedPkg
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, p)
+	}
+
+	// An in-package test variant ("p [p.test]") is a superset of its plain
+	// package; analyzing both would duplicate every finding in the shared
+	// files.
+	shadowed := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && p.Name != "main" && strippedPath(p.ImportPath) == p.ForTest {
+			shadowed[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, p := range listed {
+		if !isTarget(p, module) || shadowed[p.ImportPath] {
+			continue
+		}
+		pkg, err := typeCheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// isTarget decides whether a listed package gets analyzed: module packages
+// only — no standard library, no synthesized test mains.
+func isTarget(p listedPkg, module string) bool {
+	if p.Standard || len(p.GoFiles) == 0 {
+		return false
+	}
+	if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+		return false // generated test binary main; its sources live in the build cache
+	}
+	base := strippedPath(p.ImportPath)
+	if p.ForTest != "" {
+		base = p.ForTest // covers external test packages ("p_test [p.test]")
+	}
+	return base == module || strings.HasPrefix(base, module+"/")
+}
+
+// strippedPath removes the " [p.test]" variant suffix.
+func strippedPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// typeCheck parses and checks one target package against the export data of
+// its dependencies.
+func typeCheck(fset *token.FileSet, p listedPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	// An external test package ("p_test [p.test]") must resolve its import
+	// of p to the test-augmented variant — test files may extend p's API
+	// (the export_test.go idiom), and that surface only exists in the
+	// variant's export data.
+	overrides := make(map[string]string)
+	if p.ForTest != "" && strings.HasSuffix(strippedPath(p.ImportPath), "_test") {
+		variant := p.ForTest + " [" + p.ForTest + ".test]"
+		if exp, ok := exports[variant]; ok {
+			overrides[p.ForTest] = exp
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := overrides[path]
+		if !ok {
+			exp, ok = exports[path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, p.ImportPath)
+		}
+		return os.Open(exp)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(error) {}, // collect everything; first error returned below
+	}
+	tpkg, err := conf.Check(strippedPath(p.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// goList runs `go list` with the given extra args and returns stdout.
+func goList(dir string, args ...string) (string, error) {
+	out, err := goRun(dir, append([]string{"list"}, args...)...)
+	return string(out), err
+}
+
+// goRun executes the go tool in dir, turning non-zero exits into errors
+// carrying stderr (which is where go list explains what failed to build).
+func goRun(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				msg = strings.TrimSpace(string(ee.Stderr))
+			}
+		}
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, msg)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RingDeterminism flags nondeterminism sources inside functions marked
+// //ring:deterministic: the event loops, schedulers, the token framework and
+// cache-key construction, where the paper's cost model demands bit-identical
+// runs. It complements the runtime goldens (token_goldens.json) and the
+// cross-schedule/cross-engine property tests: those catch a nondeterministic
+// result on the paths they exercise; this rejects the construct everywhere.
+//
+// Flagged: range over a map or a channel, select over multiple live
+// channels, launching a goroutine, time.Now/Since/Until, and the seedless
+// global math/rand generator. Each has a sanctioned escape: //ring:ordered
+// on the statement asserts the order cannot reach the result (sorted-key
+// ranges, order-independent folds, deterministically merged workers).
+var RingDeterminism = &Analyzer{
+	Name: "ringdeterminism",
+	Doc: "flag nondeterminism sources (map/channel iteration order, wall-clock time, " +
+		"global math/rand, unordered goroutine collection) in //ring:deterministic functions",
+	Run: runRingDeterminism,
+}
+
+// randConstructors are the math/rand functions that build seeded generators;
+// calling them is how deterministic code is supposed to get randomness.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// wallClockFuncs are the time-package functions whose result differs between
+// two identical runs.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runRingDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || !pass.FuncMarks(n.Pos()).Deterministic {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				switch pass.TypesInfo.TypeOf(n.X).Underlying().(type) {
+				case *types.Map:
+					if !pass.Ordered(n.Pos()) {
+						pass.Reportf(n.Pos(), "deterministic code iterates over map %s in unspecified order; sort the keys first, or assert order-independence with //ring:ordered", exprString(n.X))
+					}
+				case *types.Chan:
+					if !pass.Ordered(n.Pos()) {
+						pass.Reportf(n.Pos(), "deterministic code ranges over channel %s, collecting results in completion order; merge deterministically, or assert order-independence with //ring:ordered", exprString(n.X))
+					}
+				}
+			case *ast.GoStmt:
+				if !pass.Ordered(n.Pos()) {
+					pass.Reportf(n.Pos(), "deterministic code launches a goroutine; results must be merged order-independently — state the argument with //ring:ordered")
+				}
+			case *ast.SelectStmt:
+				live := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						live++
+					}
+				}
+				if live >= 2 && !pass.Ordered(n.Pos()) {
+					pass.Reportf(n.Pos(), "deterministic code selects over %d live channels; the runtime picks a ready case at random — restructure, or assert order-independence with //ring:ordered", live)
+				}
+			case *ast.CallExpr:
+				pkg, name := calleePkgFunc(pass.TypesInfo, n)
+				switch {
+				case pkg == "time" && wallClockFuncs[name]:
+					pass.Reportf(n.Pos(), "deterministic code reads the wall clock via time.%s; two identical runs will differ", name)
+				case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+					pass.Reportf(n.Pos(), "deterministic code calls the global %s.%s generator; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", pkg, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

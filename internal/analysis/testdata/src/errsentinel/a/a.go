@@ -1,0 +1,57 @@
+// Package a is the errsentinel fixture: lines carrying want comments must be
+// flagged, every other line asserts silence.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// errRingFull is the typed sentinel callers classify against.
+var errRingFull = errors.New("ring full")
+
+func produce(n int) error {
+	if n > 8 {
+		return fmt.Errorf("produce: %w", errRingFull)
+	}
+	return nil
+}
+
+// classify exercises the comparison shapes.
+func classify(err error) int {
+	if err == nil || errors.Is(err, errRingFull) {
+		return 0
+	}
+	if err == errRingFull { // want "error values compared with =="
+		return 1
+	}
+	if err != errRingFull { // want "error values compared with !="
+		return 2
+	}
+	switch err {
+	case nil:
+		return 3
+	case errRingFull: // want "switching on an error value"
+		return 4
+	}
+	return 5
+}
+
+// classifyText exercises the message-matching shapes.
+func classifyText(err error) bool {
+	if err.Error() == "ring full" { // want "comparing err.Error() text"
+		return true
+	}
+	if strings.Contains(err.Error(), "full") { // want "matching err.Error() text with strings.Contains"
+		return true
+	}
+	return strings.HasPrefix(err.Error(), "ring") // want "strings.HasPrefix"
+}
+
+// classifyLegacy shows the sanctioned suppression for an upstream error that
+// exposes no sentinel.
+func classifyLegacy(err error) bool {
+	//ringvet:ignore errsentinel -- upstream library exposes no sentinel, only message text
+	return strings.Contains(err.Error(), "connection reset")
+}

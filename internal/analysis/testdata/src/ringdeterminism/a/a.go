@@ -1,0 +1,93 @@
+// Package a is the ringdeterminism fixture: lines carrying want comments
+// must be flagged, every other line asserts silence.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// shuffle is unmarked: every construct below is legal off the deterministic
+// paths.
+func shuffle(m map[string]int, ch chan int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	go func() { ch <- rand.Intn(10) }()
+	for v := range ch {
+		total += v
+	}
+	return total + int(time.Now().UnixNano())
+}
+
+// merge folds worker results.
+//
+//ring:deterministic
+func merge(m map[string]int, ch, a, b chan int) int {
+	total := 0
+	for _, v := range m { // want "iterates over map"
+		total += v
+	}
+	//ring:ordered -- addition commutes
+	for _, v := range m {
+		total += v
+	}
+	keys := make([]string, 0, len(m))
+	//ring:ordered -- keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total += m[k]
+	}
+	for v := range ch { // want "ranges over channel"
+		total += v
+	}
+	go drain(ch) // want "launches a goroutine"
+	//ring:ordered -- workers write disjoint result slots
+	go drain(ch)
+	select { // want "selects over 2 live channels"
+	case v := <-a:
+		total += v
+	case v := <-b:
+		total += v
+	}
+	select {
+	case v := <-a:
+		total += v
+	default:
+	}
+	return total
+}
+
+// stamp reads clocks and global randomness.
+//
+//ring:deterministic
+func stamp(seed int64, start time.Time) int64 {
+	n := time.Now().UnixNano() // want "reads the wall clock via time.Now"
+	d := time.Since(start)     // want "reads the wall clock via time.Since"
+	r := int64(rand.Intn(100)) // want "calls the global math/rand.Intn generator"
+	rng := rand.New(rand.NewSource(seed))
+	return n + int64(d) + r + int64(rng.Intn(100))
+}
+
+// fold shows function literals inheriting the enclosing declaration's mark.
+//
+//ring:deterministic
+func fold(m map[int]int) func() int {
+	return func() int {
+		t := 0
+		for _, v := range m { // want "iterates over map"
+			t += v
+		}
+		return t
+	}
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

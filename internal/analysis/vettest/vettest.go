@@ -1,0 +1,222 @@
+// Package vettest runs ringvet analyzers over fixture packages and checks
+// their diagnostics against // want comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the standard
+// library so the dependency-free module can test its own analyzers.
+//
+// Fixtures live under testdata/src/<dir>; every .go file in the directory is
+// one package. A line expecting diagnostics carries a trailing comment:
+//
+//	for k := range m { // want "iterates over map"
+//
+// Each quoted string is a substring that one diagnostic reported on that
+// line must contain; conversely every diagnostic must be matched by a want
+// on its line, so fixture lines without a want assert silence.
+package vettest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ringlang/internal/analysis"
+)
+
+// Run analyzes the fixture package at testdata/src/<dir> (relative to the
+// test's working directory) with the given analyzers and reports any
+// mismatch against the // want comments as test failures.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgDir := filepath.Join("testdata", "src", dir)
+	target, err := loadFixture(pkgDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgDir, err)
+	}
+	diags, err := analysis.RunAnalyzers(target, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgDir, err)
+	}
+
+	wants := collectWants(t, target)
+	got := make(map[lineRef][]string)
+	for _, d := range diags {
+		pos := target.Fset.Position(d.Pos)
+		key := lineRef{file: pos.Filename, line: pos.Line}
+		got[key] = append(got[key], d.Message)
+	}
+
+	// Every want must be satisfied by some diagnostic on its line.
+	for key, subs := range wants {
+		for _, sub := range subs {
+			if !anyContains(got[key], sub) {
+				t.Errorf("%s:%d: expected diagnostic containing %q, got %v", key.file, key.line, sub, got[key])
+			}
+		}
+	}
+	// Every diagnostic must be anticipated by some want on its line.
+	for key, msgs := range got {
+		for _, msg := range msgs {
+			if !anyContained(wants[key], msg) {
+				t.Errorf("%s:%d: unexpected diagnostic %q", key.file, key.line, msg)
+			}
+		}
+	}
+}
+
+type lineRef struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants scans fixture comments for // want "..." expectations.
+func collectWants(t *testing.T, target analysis.Target) map[lineRef][]string {
+	t.Helper()
+	wants := make(map[lineRef][]string)
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := target.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Fatalf(`%s: malformed want comment %q (want // want "substring"...)`, pos, c.Text)
+				}
+				key := lineRef{file: pos.Filename, line: pos.Line}
+				for _, m := range matches {
+					wants[key] = append(wants[key], strings.ReplaceAll(m[1], `\"`, `"`))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func anyContains(msgs []string, sub string) bool {
+	for _, m := range msgs {
+		if strings.Contains(m, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyContained(subs []string, msg string) bool {
+	for _, s := range subs {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadFixture parses and type-checks one fixture directory as a single
+// package. Fixture imports are restricted to the standard library; their
+// export data is resolved through one `go list -export` call.
+func loadFixture(dir string) (analysis.Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return analysis.Target{}, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return analysis.Target{}, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return analysis.Target{}, fmt.Errorf("no fixture files in %s", dir)
+	}
+
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports, err := stdlibExports(imports)
+	if err != nil {
+		return analysis.Target{}, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture imports %q: only standard-library imports are supported", path)
+		}
+		return os.Open(exp)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return analysis.Target{}, fmt.Errorf("type-checking fixture: %w", err)
+	}
+	return analysis.Target{Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// stdlibExports locates build-cache export data for the fixture's imports
+// (and their dependencies) via go list.
+func stdlibExports(imports map[string]bool) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Export"}
+	for imp := range imports {
+		args = append(args, imp)
+	}
+	sort.Strings(args[4:])
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list for fixture imports: %v: %s", err, strings.TrimSpace(stderr.String()))
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
