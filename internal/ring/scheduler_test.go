@@ -2,7 +2,6 @@ package ring
 
 import (
 	"errors"
-	"strings"
 	"testing"
 
 	"ringlang/internal/bits"
@@ -224,8 +223,8 @@ func TestNewEngineByNameAndAliases(t *testing.T) {
 		}
 	}
 	_, err := NewEngineByName("bogus", 0)
-	if err == nil || !strings.Contains(err.Error(), "unknown schedule") {
-		t.Errorf("expected unknown-schedule error, got %v", err)
+	if !errors.Is(err, ErrUnknownSchedule) {
+		t.Errorf("expected ErrUnknownSchedule, got %v", err)
 	}
 	if _, err := NewSchedulerByName("bogus", 0); err == nil {
 		t.Error("NewSchedulerByName should reject unknown names")
