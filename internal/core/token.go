@@ -72,6 +72,33 @@ type TokenRecognizer[S any] struct {
 // errInvalidTokenAlgo is wrapped by every NewTokenRecognizer validation error.
 var errInvalidTokenAlgo = errors.New("core: invalid token algorithm")
 
+// errLateToken is the cause of an AlgoError reporting a token delivered
+// after the algorithm's final pass completed.
+var errLateToken = errors.New("token arrived after the final pass")
+
+// AlgoError wraps a runtime failure of a token recognizer — codec errors,
+// fold errors, letter validation — with the algorithm that produced it, so
+// callers classify the failing algorithm with errors.As instead of parsing
+// the message. The underlying cause stays reachable through Unwrap.
+type AlgoError struct {
+	// Algo is the recognizer name (TokenAlgo.AlgoName).
+	Algo string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error with the "name: cause" form the recognizers have
+// always reported.
+func (e *AlgoError) Error() string { return e.Algo + ": " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *AlgoError) Unwrap() error { return e.Err }
+
+// algoErr wraps err with the algorithm's name.
+func algoErr(algo string, err error) error {
+	return &AlgoError{Algo: algo, Err: err}
+}
+
 // NewTokenRecognizer validates a TokenAlgo and wraps it as a Recognizer.
 func NewTokenRecognizer[S any](spec TokenAlgo[S]) (*TokenRecognizer[S], error) {
 	switch {
@@ -139,7 +166,7 @@ func (t *TokenRecognizer[S]) NewNodes(word lang.Word) ([]ring.Node, error) {
 	states := make([]tokenPassNode[S], len(word))
 	for i, letter := range word {
 		if err := check(letter); err != nil {
-			return nil, fmt.Errorf("%s: %w", t.spec.AlgoName, err)
+			return nil, algoErr(t.spec.AlgoName, err)
 		}
 		states[i] = tokenPassNode[S]{alg: t, letter: letter, ringSize: len(word)}
 		nodes[i] = &states[i]
@@ -172,12 +199,12 @@ func (n *tokenPassNode[S]) begin(p int, prev S) (S, error) {
 	if pass.Begin != nil {
 		var err error
 		if s, err = pass.Begin(prev, n.ringSize); err != nil {
-			return s, fmt.Errorf("%s: begin pass %d: %w", n.alg.spec.AlgoName, p, err)
+			return s, algoErr(n.alg.spec.AlgoName, fmt.Errorf("begin pass %d: %w", p, err))
 		}
 	}
 	s, err := pass.Fold(s, n.letter)
 	if err != nil {
-		return s, fmt.Errorf("%s: %w", n.alg.spec.AlgoName, err)
+		return s, algoErr(n.alg.spec.AlgoName, err)
 	}
 	return s, nil
 }
@@ -209,13 +236,13 @@ func (n *tokenPassNode[S]) Start(ctx *ring.Context) ([]ring.Send, error) {
 func (n *tokenPassNode[S]) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
 	p := n.seen
 	if p >= len(n.alg.spec.Passes) {
-		return nil, fmt.Errorf("%s: token arrived after the final pass", n.alg.spec.AlgoName)
+		return nil, algoErr(n.alg.spec.AlgoName, errLateToken)
 	}
 	n.seen++
 	n.reader.Reset(payload)
 	s, err := n.alg.spec.Passes[p].Decode(&n.reader)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", n.alg.spec.AlgoName, err)
+		return nil, algoErr(n.alg.spec.AlgoName, err)
 	}
 	if ctx.IsLeader() {
 		// Pass p has completed: every processor folded its letter exactly once.
@@ -232,7 +259,7 @@ func (n *tokenPassNode[S]) Receive(ctx *ring.Context, _ ring.Direction, payload 
 		return n.emit(ctx, p+1, next), nil
 	}
 	if s, err = n.alg.spec.Passes[p].Fold(s, n.letter); err != nil {
-		return nil, fmt.Errorf("%s: %w", n.alg.spec.AlgoName, err)
+		return nil, algoErr(n.alg.spec.AlgoName, err)
 	}
 	return n.emit(ctx, p, s), nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"ringlang/internal/bits"
@@ -148,12 +147,13 @@ func TestTokenRecognizerDecodeErrorsAreNamed(t *testing.T) {
 	}
 	// Deliver a truncated payload straight into a follower node.
 	_, err = nodes[1].Receive(&ring.Context{}, ring.Backward, bits.Empty())
-	if err == nil || !strings.Contains(err.Error(), "three-counters:") {
+	var ae *AlgoError
+	if !errors.As(err, &ae) || ae.Algo != "three-counters" {
 		t.Fatalf("truncated payload error %v does not name the algorithm", err)
 	}
 	// Letter validation is also named.
-	if _, err := rec.NewNodes(lang.WordFromString("01x")); err == nil ||
-		!strings.Contains(err.Error(), "three-counters:") {
+	if _, err := rec.NewNodes(lang.WordFromString("01x")); !errors.As(err, &ae) ||
+		ae.Algo != "three-counters" {
 		t.Fatalf("letter validation error %v does not name the algorithm", err)
 	}
 }
