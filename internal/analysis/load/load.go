@@ -158,22 +158,24 @@ func typeCheck(fset *token.FileSet, p listedPkg, exports map[string]string) (*Pa
 		files = append(files, f)
 	}
 
-	// An external test package ("p_test [p.test]") must resolve its import
-	// of p to the test-augmented variant — test files may extend p's API
-	// (the export_test.go idiom), and that surface only exists in the
-	// variant's export data.
-	overrides := make(map[string]string)
-	if p.ForTest != "" && strings.HasSuffix(strippedPath(p.ImportPath), "_test") {
-		variant := p.ForTest + " [" + p.ForTest + ".test]"
-		if exp, ok := exports[variant]; ok {
-			overrides[p.ForTest] = exp
-		}
+	// Inside a test build, go list rebuilds the package under test AND any
+	// dependency that (transitively) imports it as bracketed variants
+	// ("q [p.test]"). A package being analyzed as part of that build must
+	// resolve its imports to those variants first: the package under test
+	// may export extra API from its test files (the export_test.go idiom),
+	// and a plain-package export may not even be listed when the pattern
+	// didn't match it directly.
+	variantSuffix := ""
+	if p.ForTest != "" {
+		variantSuffix = " [" + p.ForTest + ".test]"
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
-		exp, ok := overrides[path]
-		if !ok {
-			exp, ok = exports[path]
+		if variantSuffix != "" {
+			if exp, ok := exports[path+variantSuffix]; ok {
+				return os.Open(exp)
+			}
 		}
+		exp, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, p.ImportPath)
 		}
