@@ -1,8 +1,8 @@
 package ringlang
 
 import (
+	"errors"
 	"reflect"
-	"strings"
 	"testing"
 )
 
@@ -46,7 +46,8 @@ func TestRecognizeBatchErrors(t *testing.T) {
 	}
 	words := []Word{WordFromString("001122"), nil}
 	_, err := RecognizeBatch("three-counters", "", words, Options{})
-	if err == nil || !strings.Contains(err.Error(), "word 1") {
+	var bwe *BatchWordError
+	if !errors.As(err, &bwe) || bwe.Index != 1 {
 		t.Errorf("batch error does not name the failing word: %v", err)
 	}
 	if got, err := RecognizeBatch("three-counters", "", nil, Options{}); err != nil || len(got) != 0 {

@@ -207,10 +207,32 @@ func RecognizeBatchWith(rec Recognizer, words []Word, opts Options) ([]*Report, 
 	return failAll(c.Batch(context.Background(), words), words)
 }
 
+// BatchWordError is the error the v1 all-or-nothing batch calls
+// (RecognizeBatch, RecognizeBatchWith) return when a word fails: it names
+// the failing word and its index as fields, so callers classify the failure
+// with errors.As instead of parsing the message, and the cause stays
+// reachable through Unwrap (errors.Is against the package sentinels keeps
+// working through it).
+type BatchWordError struct {
+	// Index is the failing word's position in the batch.
+	Index int
+	// Word is the failing word's string form.
+	Word string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error with the v1 message format.
+func (e *BatchWordError) Error() string {
+	return fmt.Sprintf("ringlang: word %d (%q): %v", e.Index, e.Word, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *BatchWordError) Unwrap() error { return e.Err }
+
 // failAll converts per-word Results into the v1 all-or-nothing shape: the
-// first word with an error fails the batch, with the v1 error format
-// ("ringlang: word N (...): cause") — the client's own "ringlang:" wrap is
-// peeled off so the prefix is not doubled.
+// first word with an error fails the batch with a BatchWordError — the
+// client's own "ringlang:" wrap is peeled off so the prefix is not doubled.
 func failAll(results []Result, words []Word) ([]*Report, error) {
 	reports := make([]*Report, len(results))
 	for i, r := range results {
@@ -219,7 +241,7 @@ func failAll(results []Result, words []Word) ([]*Report, error) {
 			if inner := errors.Unwrap(cause); inner != nil {
 				cause = inner
 			}
-			return nil, fmt.Errorf("ringlang: word %d (%q): %w", i, words[i].String(), cause)
+			return nil, &BatchWordError{Index: i, Word: words[i].String(), Err: cause}
 		}
 		reports[i] = r.Report
 	}
