@@ -155,11 +155,13 @@ func (p *Pool) RunBatchContext(ctx context.Context, jobs []Job) []Result {
 
 // RunBatch executes every job without cancellation; see RunBatchContext.
 func (p *Pool) RunBatch(jobs []Job) []Result {
+	//ringvet:ignore ctxflow -- v1-style convenience wrapper documented as running without cancellation; RunBatchContext is the ctx-aware form
 	return p.RunBatchContext(context.Background(), jobs)
 }
 
 // RunBatch executes the jobs on a transient pool.
 func RunBatch(jobs []Job, opts Options) []Result {
+	//ringvet:ignore ctxflow -- v1-style convenience wrapper documented as running without cancellation; RunBatchContext is the ctx-aware form
 	return RunBatchContext(context.Background(), jobs, opts)
 }
 
