@@ -193,6 +193,9 @@ type tokenPassNode[S any] struct {
 
 // begin computes pass p's on-the-wire state at the leader: Begin, then the
 // leader's own fold.
+//
+//ring:deterministic
+//ring:hotpath guard=TestTokenRecognizerSteadyStateAllocs
 func (n *tokenPassNode[S]) begin(p int, prev S) (S, error) {
 	pass := &n.alg.spec.Passes[p]
 	s := prev
@@ -213,6 +216,9 @@ func (n *tokenPassNode[S]) begin(p int, prev S) (S, error) {
 // returns the single resulting send. The payload aliases the scratch buffer —
 // legal here because a token algorithm's processor has at most one message in
 // flight (see ring.Context.Writer).
+//
+//ring:deterministic
+//ring:hotpath guard=TestTokenRecognizerSteadyStateAllocs
 func (n *tokenPassNode[S]) emit(ctx *ring.Context, p int, s S) []ring.Send {
 	w := ctx.Writer()
 	n.alg.spec.Passes[p].Encode(w, s)
@@ -220,6 +226,9 @@ func (n *tokenPassNode[S]) emit(ctx *ring.Context, p int, s S) []ring.Send {
 }
 
 // Start implements ring.Node: the leader launches pass 0.
+//
+//ring:deterministic
+//ring:hotpath guard=TestTokenRecognizerSteadyStateAllocs
 func (n *tokenPassNode[S]) Start(ctx *ring.Context) ([]ring.Send, error) {
 	if !ctx.IsLeader() {
 		return nil, nil
@@ -233,6 +242,9 @@ func (n *tokenPassNode[S]) Start(ctx *ring.Context) ([]ring.Send, error) {
 }
 
 // Receive implements ring.Node.
+//
+//ring:deterministic
+//ring:hotpath guard=TestTokenRecognizerSteadyStateAllocs
 func (n *tokenPassNode[S]) Receive(ctx *ring.Context, _ ring.Direction, payload bits.String) ([]ring.Send, error) {
 	p := n.seen
 	if p >= len(n.alg.spec.Passes) {

@@ -223,6 +223,8 @@ func (w *worker) engine(job Job) (ring.Engine, error) {
 }
 
 // run executes one job with this worker's reusable state.
+//
+//ring:hotpath guard=TestBatchAllocatesLessThanSerial
 func (w *worker) run(ctx context.Context, job Job) Result {
 	if job.Rec == nil {
 		return Result{Err: fmt.Errorf("exec: job has no recognizer")}

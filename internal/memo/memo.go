@@ -19,6 +19,9 @@ type Key struct {
 
 // hash is FNV-1a over every field, with a separator byte between strings so
 // ("ab","c") and ("a","bc") do not collide. It allocates nothing.
+//
+//ring:deterministic
+//ring:hotpath guard=TestMemoHitAllocRegressionGuard
 func (k Key) hash() uint64 {
 	const (
 		offset = 14695981039346656037
@@ -117,11 +120,15 @@ func New[V any](capacity, shards int) *Cache[V] {
 }
 
 // shardFor picks the lock domain of a key.
+//
+//ring:hotpath guard=TestMemoHitAllocRegressionGuard
 func (c *Cache[V]) shardFor(k Key) *shard[V] {
 	return &c.shards[k.hash()&c.mask]
 }
 
 // unlink removes e from the LRU list.
+//
+//ring:hotpath guard=TestMemoHitAllocRegressionGuard
 func (e *entry[V]) unlink() {
 	e.prev.next = e.next
 	e.next.prev = e.prev
@@ -129,6 +136,8 @@ func (e *entry[V]) unlink() {
 }
 
 // pushFront inserts e right after the sentinel (most recently used).
+//
+//ring:hotpath guard=TestMemoHitAllocRegressionGuard
 func (s *shard[V]) pushFront(e *entry[V]) {
 	e.prev = &s.root
 	e.next = s.root.next
@@ -151,6 +160,8 @@ func (c *Cache[V]) Peek(k Key) (V, bool) {
 }
 
 // lookup is the shared read path of Get and Peek.
+//
+//ring:hotpath guard=TestMemoHitAllocRegressionGuard
 func (c *Cache[V]) lookup(k Key, countMiss bool) (V, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()

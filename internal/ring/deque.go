@@ -68,6 +68,10 @@ type fifoQueue struct {
 
 func (q *fifoQueue) len() int { return q.n }
 
+// push enqueues one delivery, copying the payload into the arena. Growth is
+// first-run amortized; a warmed queue pushes allocation-free.
+//
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard
 func (q *fifoQueue) push(to int, from Direction, payload bits.String) {
 	if q.n == len(q.slotLink) {
 		q.growSlots()
@@ -108,6 +112,9 @@ func (q *fifoQueue) push(to int, from Direction, payload bits.String) {
 	}
 }
 
+// pop dequeues the oldest delivery as a zero-copy view into the arena.
+//
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard
 func (q *fifoQueue) pop() Delivery {
 	i := q.head
 	q.head = (q.head + 1) & (len(q.slotLink) - 1)
@@ -249,6 +256,8 @@ func (l *linkQueues) reset(links int) {
 
 // alloc takes an entry from the freelist (or grows the pool) and stores the
 // payload in it.
+//
+//ring:hotpath guard=TestLoopAllocatesLessThanSeedLoop
 func (l *linkQueues) alloc(p bits.String) int32 {
 	if e := l.freeHead; e >= 0 {
 		l.freeHead = l.next[e]
@@ -256,7 +265,9 @@ func (l *linkQueues) alloc(p bits.String) int32 {
 		l.next[e] = -1
 		return e
 	}
+	//ringvet:ignore hotpathalloc -- pool growth is first-run amortized; steady state serves from the freelist above
 	l.payload = append(l.payload, p)
+	//ringvet:ignore hotpathalloc -- grows in lockstep with payload; same first-run amortization
 	l.next = append(l.next, -1)
 	return int32(len(l.payload) - 1)
 }
@@ -265,6 +276,8 @@ func (l *linkQueues) alloc(p bits.String) int32 {
 // was empty before (i.e. just became schedulable). The caller must pass the
 // link id matching d (link == linkIndex(d.To, d.From)); the endpoints are not
 // stored.
+//
+//ring:hotpath guard=TestLoopAllocatesLessThanSeedLoop
 func (l *linkQueues) push(link int, d Delivery) (wasEmpty bool) {
 	e := l.alloc(d.Payload)
 	if t := l.tail[link]; t >= 0 {
@@ -281,6 +294,9 @@ func (l *linkQueues) push(link int, d Delivery) (wasEmpty bool) {
 	return wasEmpty
 }
 
+// pop dequeues the head of the link's queue, recycling its entry.
+//
+//ring:hotpath guard=TestLoopAllocatesLessThanSeedLoop
 func (l *linkQueues) pop(link int) Delivery {
 	e := l.head[link]
 	l.head[link] = l.next[e]

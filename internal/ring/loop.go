@@ -25,12 +25,15 @@ func (lp *loopState) reset(cfg Config, n int) {
 }
 
 // decide implements verdictSink for the single-goroutine loop.
+//
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard
 func (lp *loopState) decide(proc int, v Verdict) error {
 	if lp.verdict != VerdictNone {
 		return ErrAlreadyDecided
 	}
 	lp.verdict = v
 	if lp.cfg.RecordTrace {
+		//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
 		lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventVerdict, Processor: proc, Verdict: v})
 		lp.seq++
 	}
@@ -48,6 +51,9 @@ func (lp *loopState) decide(proc int, v Verdict) error {
 //
 // Trace recording is gated at every site so a run with Config.RecordTrace
 // off never constructs an Event.
+//
+//ring:deterministic
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard,TestLoopAllocatesLessThanSeedLoop
 func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, error) {
 	cfg, err := cfg.normalize(len(nodes))
 	if err != nil {
@@ -90,6 +96,7 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 			}
 			lp.stats.record(to, arrival, s.Payload)
 			if cfg.RecordTrace {
+				//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
 				lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventSend, Processor: fromProc, Dir: s.Dir, Payload: s.Payload})
 				lp.seq++
 			}
@@ -104,6 +111,7 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 			continue
 		}
 		if cfg.RecordTrace {
+			//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
 			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventStart, Processor: i})
 			lp.seq++
 		}
@@ -142,6 +150,7 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 		if cfg.RecordTrace {
 			// A payload popped from the FIFO arena is recycled a couple of
 			// deliveries later; the trace outlives that, so snapshot it.
+			//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
 			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventReceive, Processor: d.To, Dir: d.From, Payload: d.Payload.Clone()})
 			lp.seq++
 		}

@@ -78,12 +78,21 @@ func (s *randomScheduler) Reset(links int) {
 	s.nonEmpty = s.nonEmpty[:0]
 }
 
+// Push enqueues d and tracks the link on the non-empty list.
+//
+//ring:hotpath guard=TestLoopAllocatesLessThanSeedLoop
 func (s *randomScheduler) Push(link int, d Delivery) {
 	if s.links.push(link, d) {
+		//ring:prealloc -- nonEmpty keeps its capacity across Reset; growth is first-run only
 		s.nonEmpty = append(s.nonEmpty, link)
 	}
 }
 
+// Next delivers the head of a uniformly random non-empty link. The generator
+// is seeded per run, so the schedule is reproducible.
+//
+//ring:deterministic
+//ring:hotpath guard=TestLoopAllocatesLessThanSeedLoop
 func (s *randomScheduler) Next() (Delivery, bool) {
 	if len(s.nonEmpty) == 0 {
 		return Delivery{}, false
@@ -194,6 +203,10 @@ func (s *adversarialScheduler) Push(link int, d Delivery) {
 	}
 }
 
+// Next serves the newest-activated link, except every bound-th delivery,
+// which serves the oldest — a deterministic schedule despite its hostility.
+//
+//ring:deterministic
 func (s *adversarialScheduler) Next() (Delivery, bool) {
 	if s.links.pending == 0 {
 		return Delivery{}, false

@@ -157,6 +157,8 @@ func (q *spscRing) freeSlots() int {
 
 // push copies the payload into the next slot and publishes it. The caller
 // must have checked freeSlots.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (q *spscRing) push(to int, from Direction, payload bits.String) {
 	t := q.tail.Load()
 	s := &q.slots[t&int64(len(q.slots)-1)]
@@ -174,6 +176,8 @@ func (q *spscRing) push(to int, from Direction, payload bits.String) {
 
 // drainInto moves every published message into the consumer's local queue
 // (which copies the payload into its arena) and returns how many it moved.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (q *spscRing) drainInto(local *fifoQueue) int {
 	h := q.head.Load()
 	t := q.tail.Load()
@@ -197,6 +201,8 @@ type shardBoundary struct {
 
 // send hands one boundary message over, preserving per-link FIFO: the spill
 // always drains before a younger message is pushed.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (b *shardBoundary) send(to int, from Direction, payload bits.String) {
 	b.flushSpill()
 	if b.spill.len() == 0 && b.ring.freeSlots() > 0 {
@@ -207,6 +213,8 @@ func (b *shardBoundary) send(to int, from Direction, payload bits.String) {
 }
 
 // flushSpill moves as much of the overflow queue into the ring as fits.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (b *shardBoundary) flushSpill() {
 	for b.spill.len() > 0 && b.ring.freeSlots() > 0 {
 		d := b.spill.pop()
@@ -266,6 +274,8 @@ var _ verdictSink = (*shardRun)(nil)
 // decide implements verdictSink. Only the leader's context can reach it, so
 // it runs on exactly one goroutine; publication to the other workers happens
 // through the done flag.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (r *shardRun) decide(proc int, v Verdict) error {
 	if r.hasVerdict {
 		return ErrAlreadyDecided
@@ -339,6 +349,8 @@ func (r *shardRun) reset(cfg Config, nodes []Node, stats *Stats, wn int) {
 
 // recordSend accounts one send in the worker's private totals and the shared
 // per-link arrays (one writer per link; see Stats).
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (wk *shardWorker) recordSend(r *shardRun, to int, arrival Direction, payload bits.String) {
 	nb := payload.Len()
 	wk.messages++
@@ -355,6 +367,8 @@ func (wk *shardWorker) recordSend(r *shardRun, to int, arrival Direction, payloa
 // It runs on the worker owning fromProc; cross-segment sends can only cross
 // the worker's own two boundaries, because a ring send travels exactly one
 // hop.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (wk *shardWorker) dispatch(r *shardRun, fromProc int, sends []Send) error {
 	for _, s := range sends {
 		to, arrival, err := routeSend(r.cfg, fromProc, s, r.n)
@@ -383,6 +397,8 @@ const budgetBatch = 16
 
 // loop is one worker's event loop. w is the worker's own index; its incoming
 // rings are owned by the two neighbouring workers.
+//
+//ring:hotpath guard=TestShardedSteadyStateAllocFloor
 func (wk *shardWorker) loop(r *shardRun, w int, contexts []Context) {
 	wn := len(r.workers)
 	inPrev := &r.workers[(w-1+wn)%wn].toNext.ring
@@ -427,6 +443,7 @@ func (wk *shardWorker) loop(r *shardRun, w int, contexts []Context) {
 		if sinceBatch == budgetBatch {
 			sinceBatch = 0
 			if r.delivered.Add(budgetBatch) > int64(r.cfg.MaxMessages) {
+				//ringvet:ignore hotpathalloc -- error construction ends the run; never on the steady-state path
 				wk.err = fmt.Errorf("%w: %d messages", ErrMessageBudgetExceeded, r.cfg.MaxMessages)
 				r.stop()
 				return
@@ -443,6 +460,7 @@ func (wk *shardWorker) loop(r *shardRun, w int, contexts []Context) {
 		}
 		sends, err := r.nodes[d.To].Receive(&contexts[d.To], d.From, d.Payload)
 		if err != nil {
+			//ringvet:ignore hotpathalloc -- error construction ends the run; never on the steady-state path
 			wk.err = fmt.Errorf("ring: receive at processor %d: %w", d.To, err)
 			r.stop()
 			return
@@ -463,7 +481,11 @@ func (wk *shardWorker) loop(r *shardRun, w int, contexts []Context) {
 	}
 }
 
-// run executes one sharded run inside st.
+// run executes one sharded run inside st. The workers race to a legal
+// interleaving, but everything in the returned Result is an order-independent
+// aggregate, so the run is deterministic in the sense the engine documents.
+//
+//ring:deterministic
 func (r *shardRun) run(e *ShardedEngine, st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	n := len(nodes)
 	wn := e.effectiveWorkers(n)
@@ -511,6 +533,7 @@ func (r *shardRun) run(e *ShardedEngine, st *RunState, cfg Config, nodes []Node)
 		for w := range r.workers {
 			wk := &r.workers[w]
 			wg.Add(1)
+			//ring:ordered -- workers race to a legal asynchronous schedule; Result/Stats are order-independent aggregates (see ShardedEngine)
 			go func(w int) {
 				defer wg.Done()
 				wk.loop(r, w, contexts)

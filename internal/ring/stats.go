@@ -102,6 +102,9 @@ func (s *Stats) ensureLinks() {
 // direction `arrival` as the receiver perceives it (the pair (to, arrival)
 // names the directed link, see linkIndex; the sender is implied by the
 // topology).
+//
+//ring:deterministic
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard
 func (s *Stats) record(to int, arrival Direction, payload bits.String) {
 	n := payload.Len()
 	s.Messages++
@@ -135,9 +138,12 @@ func (s *Stats) linkStatsAt(link int) LinkStats {
 // (From, To) — the PerLink view as a deterministic slice, including its
 // merge of the two link directions that share a key on 1- and 2-rings. The
 // returned slice is freshly allocated and safe to retain.
+//
+//ring:deterministic
 func (s *Stats) Links() []LinkStats {
 	view := s.PerLink()
 	out := make([]LinkStats, 0, len(view))
+	//ring:ordered -- collected into a slice and sorted by (From, To) below
 	for _, ls := range view {
 		out = append(out, *ls)
 	}
@@ -207,8 +213,11 @@ func (s *Stats) BitsPerProcessor() float64 {
 // deterministically towards the lowest (From, To) pair, so the cut link of
 // two identical runs is always the same link. The boolean is false if no
 // link carried any message.
+//
+//ring:deterministic
 func (s *Stats) MinLinkBits() (LinkStats, bool) {
 	var best *LinkStats
+	//ring:ordered -- the comparison below breaks ties towards the lowest (From, To) pair, so the minimum is order-independent
 	for _, ls := range s.PerLink() {
 		if best == nil || ls.Bits < best.Bits ||
 			(ls.Bits == best.Bits && (ls.From < best.From ||

@@ -175,6 +175,8 @@ func (s *Server) CacheStats() memo.Stats {
 // and one cache entry while randomized runs stay keyed by their seed.
 // Unknown schedule names pass through untouched — the Client constructor is
 // the validator and reports ErrUnknownSchedule.
+//
+//ring:deterministic
 func keyFor(algorithm, language, schedule string, seed int64) clientKey {
 	if schedule == "" {
 		schedule = "sequential"
@@ -188,6 +190,8 @@ func keyFor(algorithm, language, schedule string, seed int64) clientKey {
 }
 
 // cacheKey is the memo key of one word under a client key.
+//
+//ring:deterministic
 func (ck clientKey) cacheKey(word string) memo.Key {
 	return memo.Key{
 		Algorithm: ck.algorithm,
