@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotpathGuardsAreLiveTests pins the contract binding the static and
+// dynamic tiers together: every //ring:hotpath directive in the module names
+// at least one guard= alloc-regression test, and every named guard resolves
+// to a Test function that exists somewhere in the module's test files. A
+// directive whose guard was renamed or deleted fails here instead of silently
+// pointing at nothing.
+func TestHotpathGuardsAreLiveTests(t *testing.T) {
+	root := moduleRootDir(t)
+	fset := token.NewFileSet()
+
+	type hotpathMark struct {
+		fn     string
+		pos    token.Position
+		guards []string
+	}
+	var hotpaths []hotpathMark
+	testFuncs := make(map[string]bool)
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture packages under testdata deliberately use fake guard
+			// names; they are exercised by vettest, not by this contract.
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		isTest := strings.HasSuffix(path, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if isTest && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
+				testFuncs[fd.Name.Name] = true
+			}
+			if fd.Doc == nil {
+				continue
+			}
+			m, err := parseFuncMarks(fd.Doc)
+			if err != nil {
+				t.Errorf("%s: %s: %v", fset.Position(fd.Pos()), fd.Name.Name, err)
+				continue
+			}
+			if m.Hotpath {
+				hotpaths = append(hotpaths, hotpathMark{
+					fn:     fd.Name.Name,
+					pos:    fset.Position(fd.Pos()),
+					guards: m.Guards,
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hotpaths) == 0 {
+		t.Fatal("no //ring:hotpath directives found in the module; the annotation pass is missing")
+	}
+
+	for _, m := range hotpaths {
+		if len(m.guards) == 0 {
+			t.Errorf("%s: //ring:hotpath on %s names no guard= alloc-regression test", m.pos, m.fn)
+			continue
+		}
+		for _, g := range m.guards {
+			if !testFuncs[g] {
+				t.Errorf("%s: %s names guard %s, which is not a Test function anywhere in the module", m.pos, m.fn, g)
+			}
+		}
+	}
+}
+
+// moduleRootDir walks up from the package directory to the go.mod root.
+func moduleRootDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}

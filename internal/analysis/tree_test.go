@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ringlang/internal/analysis"
+	"ringlang/internal/analysis/load"
+)
+
+// TestModuleIsRingvetClean runs the full analyzer suite over the whole
+// module — the same gate CI applies via cmd/ringvet — so a finding
+// introduced anywhere in the tree fails `go test ./...` even when nobody
+// ran the command by hand.
+func TestModuleIsRingvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	root := findModuleRoot(t)
+	pkgs, err := load.Load(root, true, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := analysis.All()
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(analysis.Target{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		}, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}
+
+// findModuleRoot walks up from the package directory to the go.mod root.
+func findModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}
