@@ -53,6 +53,7 @@ type Client struct {
 	workers  int
 	trace    bool
 	presize  int
+	prefix   *core.PrefixCache
 
 	mu       sync.Mutex
 	pool     *exec.Pool
@@ -98,6 +99,46 @@ func WithTrace(record bool) Option {
 // rings of 10^6 processors.
 func WithPresize(n int) Option {
 	return func(c *Client) { c.presize = n }
+}
+
+// WithPrefixCache attaches a client-private prefix-checkpoint cache bounded
+// to roughly maxBytes of retained checkpoint state. Runs then reuse shared-
+// prefix computation: the engine checkpoints each word at a few fractional
+// boundaries, and a later word sharing a prefix resumes from the deepest
+// stored checkpoint instead of recomputing it — Recognize, Batch and Stream
+// all read and feed the same cache, so pool workers warm it for each other.
+// Reports are bit-for-bit identical to cold runs. The cache engages only
+// where it is sound: prefix-extendable algorithms (forward token passes; the
+// backward-reading ones run cold) under prefix-stable schedules
+// ("sequential", "round-robin" — see ring.ScheduleIsPrefixStable); with
+// WithTrace or other schedules it is simply bypassed. maxBytes < 1 leaves
+// the client uncached.
+func WithPrefixCache(maxBytes int64) Option {
+	return func(c *Client) {
+		c.prefix = nil
+		if maxBytes > 0 {
+			c.prefix = core.NewPrefixCache(maxBytes)
+		}
+	}
+}
+
+// WithSharedPrefixCache attaches an existing prefix-checkpoint cache (see
+// NewPrefixCache), so many clients — e.g. a serving tier's per-algorithm
+// client pool — share one bytes budget and reuse each other's checkpoints.
+// Namespacing by (algorithm, language, schedule, ring size) is internal to
+// the cache; sharing it across unrelated clients is always sound. A nil
+// cache leaves the client uncached.
+func WithSharedPrefixCache(cache *PrefixCache) Option {
+	return func(c *Client) { c.prefix = cache }
+}
+
+// PrefixStats returns the counters of the client's prefix cache, and whether
+// one is attached at all.
+func (c *Client) PrefixStats() (PrefixStats, bool) {
+	if c.prefix == nil {
+		return PrefixStats{}, false
+	}
+	return c.prefix.Stats(), true
 }
 
 // WithEngine pins a concrete engine instead of resolving one from
@@ -220,7 +261,7 @@ func (c *Client) Recognize(ctx context.Context, word Word) (*Report, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace, Presize: c.presize})
+	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix})
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
 	}
@@ -328,7 +369,7 @@ func (c *Client) Stream(ctx context.Context, words []Word) iter.Seq2[int, Result
 func (c *Client) jobs(words []Word) []exec.Job {
 	jobs := make([]exec.Job, len(words))
 	for i, w := range words {
-		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace, Presize: c.presize}
+		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix}
 	}
 	return jobs
 }

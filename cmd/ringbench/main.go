@@ -1,4 +1,4 @@
-// Command ringbench regenerates the experiment tables (E1–E15, A1–A3).
+// Command ringbench regenerates the experiment tables (E1–E16, A1–A3).
 //
 // Usage:
 //
@@ -8,7 +8,7 @@
 //	ringbench -e E13        # the full-factorial schedule sweep
 //	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
 //	ringbench -workers 0 -e E13             # fan sweep cells over all CPUs
-//	ringbench -e E15 -json BENCH_engine.json  # large-ring sweep, machine-readable
+//	ringbench -e E15,E16 -json BENCH_engine.json  # engine sweeps, machine-readable
 //	ringbench -list         # list experiments plus the algorithm/language/schedule catalogs
 //
 // -workers selects how many goroutines the sweeps fan their (size × schedule)
@@ -58,7 +58,7 @@ func run(args []string) error {
 		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
 		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
 		workers    = fs.Int("workers", 1, "worker goroutines for sweep fan-out (1 = serial, 0 = one per CPU)")
-		jsonPath   = fs.String("json", "", "write the machine-readable records of the experiments that produce them (E15) to this path")
+		jsonPath   = fs.String("json", "", "write the machine-readable records of the experiments that produce them (E15, E16) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -14,7 +14,10 @@
 // -words runs a whole batch (comma-separated) through a ringlang.Client
 // worker pool and prints one accounting line per word; -workers sets the
 // pool size (0 = one worker per CPU, the default). Batch runs cannot record
-// traces.
+// traces. -prefix-cache gives the client a prefix-checkpoint cache of that
+// many bytes, so batch words sharing prefixes resume from stored engine
+// checkpoints instead of recomputing them (prefix-stable schedules only;
+// reports are bit-identical either way).
 //
 // Ctrl-C (or SIGTERM) cancels the run: a batch stops dispatching, the words
 // already finished are still printed, and the canceled ones are marked.
@@ -61,6 +64,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		list       = fs.Bool("list", false, "list algorithm, language and schedule names and exit")
 		words      = fs.String("words", "", "comma-separated words to run as a parallel batch (instead of -word)")
 		workers    = fs.Int("workers", 0, "worker goroutines for -words batches (0 = one per CPU)")
+		prefix     = fs.Int64("prefix-cache", 0, "prefix-checkpoint cache budget in bytes (0 = off); batch words sharing prefixes resume from stored engine checkpoints")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,7 +101,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		ringlang.WithSchedule(name),
 		ringlang.WithSeed(*seed),
 		ringlang.WithWorkers(*workers),
-		ringlang.WithTrace(*withTrace))
+		ringlang.WithTrace(*withTrace),
+		ringlang.WithPrefixCache(*prefix))
 	if err != nil {
 		return err
 	}
@@ -173,6 +178,10 @@ func runBatch(ctx context.Context, out *os.File, client *ringlang.Client, raw []
 		if firstErr == nil {
 			firstErr = fmt.Errorf("%d of %d words canceled: %w", canceled, len(words), ringlang.ErrCanceled)
 		}
+	}
+	if st, ok := client.PrefixStats(); ok {
+		fmt.Fprintf(out, "prefix cache: %d hits, %d partial, %d misses (%d checkpoints, %d bytes)\n",
+			st.Hits, st.PartialHits, st.Misses, st.Entries, st.Bytes)
 	}
 	return firstErr
 }

@@ -15,6 +15,7 @@
 //	ringserve -max-word 65536         # per-word letter cap (largest ring)
 //	ringserve -max-body 1048576       # request body byte cap
 //	ringserve -max-clients 64         # cached client pools, LRU-evicted
+//	ringserve -prefix-cache 33554432  # prefix-checkpoint cache bytes (-1 off)
 //	ringserve -drain 10s              # graceful-shutdown budget
 //	ringserve -lb-grace 3s            # healthz-drains-first window for LBs
 //
@@ -67,6 +68,7 @@ func run(args []string) error {
 		maxWord     = fs.Int("max-word", server.DefaultMaxWordLetters, "max letters per word (the largest ring a request may ask for)")
 		maxBody     = fs.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 		maxClients  = fs.Int("max-clients", server.DefaultMaxClients, "max cached (algorithm, language, schedule, seed) clients; LRU-evicted past it")
+		prefixCache = fs.Int64("prefix-cache", server.DefaultPrefixCacheBytes, "prefix-checkpoint cache budget in bytes, shared across all clients (negative disables); distinct words sharing prefixes resume from stored engine checkpoints")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 		lbGrace     = fs.Duration("lb-grace", 0, "after SIGTERM, keep serving this long with /healthz answering 503 draining, so load balancers stop routing before the listener closes")
 	)
@@ -78,14 +80,15 @@ func run(args []string) error {
 	defer stop()
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CacheCapacity:  *cache,
-		CacheShards:    *cacheShards,
-		MaxInFlight:    *maxInflight,
-		MaxBatchWords:  *maxWords,
-		MaxWordLetters: *maxWord,
-		MaxBodyBytes:   *maxBody,
-		MaxClients:     *maxClients,
+		Workers:          *workers,
+		CacheCapacity:    *cache,
+		CacheShards:      *cacheShards,
+		MaxInFlight:      *maxInflight,
+		MaxBatchWords:    *maxWords,
+		MaxWordLetters:   *maxWord,
+		MaxBodyBytes:     *maxBody,
+		MaxClients:       *maxClients,
+		PrefixCacheBytes: *prefixCache,
 	})
 	// Request contexts descend from reqCtx, not the signal context: a
 	// SIGTERM must let in-flight requests use the drain budget, and only

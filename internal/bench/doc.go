@@ -2,7 +2,8 @@
 // ring sizes and parameters, runs the core recognizers on the ring engines,
 // and renders one table per experiment — E1–E13 for the paper's claims and
 // the extensions, E14 for the serving tier's cache behaviour, E15 for the
-// large-ring engine's time/alloc trajectory, plus the design ablations A1–A3
+// large-ring engine's time/alloc trajectory, E16 for the prefix-checkpoint
+// warm-vs-cold reuse sweep, plus the design ablations A1–A3
 // (see DESIGN.md). The cmd/ringbench tool and the
 // repository-root benchmarks are thin wrappers around this package, so every
 // table can be regenerated from one place.

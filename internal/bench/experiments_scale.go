@@ -45,16 +45,18 @@ func scaleIters(n int, suite Suite) int {
 // timedRuns executes the recognizer iters times on word with a reused,
 // pre-sized run state, and returns the per-run wall time and steady-state
 // heap allocations plus the (schedule-independent) result of the final run.
-// Warm-up runs precede the measurement so neither cold-start growth of the
-// queue, arena and context arrays (that path has its own allocation guards in
-// internal/ring) nor first-touch costs of the process — page faults on fresh
+// The run state is reused and the ring is relabelled in place run to run
+// (core.NodeReuse), so the numbers measure the engine loop, not per-run
+// construction. Warm-up runs precede the measurement so neither cold-start
+// growth of the queue, arena and context arrays (that path has its own
+// allocation guards in internal/ring) nor first-touch costs of the process — page faults on fresh
 // heap spans, GC pacing against a not-yet-established live set — pollute the
 // steady-state numbers. One warm-up is not enough for the latter on 2^20
 // rings: the very first large cell otherwise reads several times slower than
 // an identical cell run second.
 func timedRuns(rec core.Recognizer, word lang.Word, engine ring.Engine, iters int) (nsPerOp, allocsPerOp float64, res *ring.Result, err error) {
 	st := ring.NewRunState()
-	opts := core.RunOptions{Engine: engine, State: st, Presize: len(word), Ctx: defaultCtx}
+	opts := core.RunOptions{Engine: engine, State: st, Presize: len(word), Ctx: defaultCtx, Reuse: core.NewNodeReuse()}
 	warmups := 2 + iters/4
 	if warmups > 8 {
 		warmups = 8

@@ -93,6 +93,16 @@ func Experiments() []Experiment {
 				}
 				return ExperimentE15(sizes, s)
 			}},
+		{ID: "E16", Description: "prefix checkpoints: warm vs cold ns/word on shared-prefix corpora (majority, sequential)",
+			Run: func(s Suite) (*Table, error) {
+				sizes := PrefixSizes
+				if s == SuiteQuick {
+					// One CI-speed cell, at the n=4096 point the acceptance
+					// speedup is stated for.
+					sizes = []int{1 << 12}
+				}
+				return ExperimentE16(sizes, s)
+			}},
 		{ID: "A1", Description: "ablation: counter encodings",
 			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
 		{ID: "A2", Description: "ablation: DFA minimization",

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// This file is the node-reuse path: at large ring sizes the dominant cost of
+// a steady-state run is not the deliveries but rebuilding the ring — two
+// O(n) allocations per run whose zeroing and page-faulting swamp the engine
+// loop at n = 2^20 and whose garbage drives the collector. A NodeReuse slot
+// keeps one ring alive across runs and relabels it in place when the
+// recognizer knows how (NodeRebuilder), which every token recognizer does.
+
+// NodeRebuilder is implemented by recognizers that can relabel a ring they
+// previously built for an equal-length word, reusing its allocations
+// instead of constructing fresh nodes.
+type NodeRebuilder interface {
+	Recognizer
+	// RebuildNodes rebuilds prev — nodes this recognizer built for a word of
+	// the same length — in place for word, leaving every node exactly as
+	// NewNodes would have. It fails if prev is not this recognizer's ring.
+	RebuildNodes(word lang.Word, prev []ring.Node) ([]ring.Node, error)
+}
+
+// NodeReuse is a single-slot pool of constructed ring nodes, plugged into a
+// run through RunOptions.Reuse. When consecutive runs use the same
+// recognizer and ring size — a batch worker grinding same-length words, a
+// benchmark's timing loop — the nodes are relabelled in place and the run
+// performs no node allocation at all; any mismatch (different recognizer,
+// different length, a recognizer that cannot rebuild) falls back to a fresh
+// construction, which restocks the slot.
+//
+// A NodeReuse is NOT safe for concurrent use: like ring.RunState, it is
+// meant to be owned by one worker and reused run after run.
+type NodeReuse struct {
+	rec   Recognizer
+	n     int
+	nodes []ring.Node
+}
+
+// NewNodeReuse returns an empty node-reuse slot.
+func NewNodeReuse() *NodeReuse { return &NodeReuse{} }
+
+// build returns nodes for word, relabelling the slot's ring when it matches
+// and restocking it when it does not.
+//
+//ring:hotpath guard=TestNodeReuseStaysOnRebuildFloor
+func (p *NodeReuse) build(rec Recognizer, word lang.Word) ([]ring.Node, error) {
+	rb, ok := rec.(NodeRebuilder)
+	if !ok {
+		return rec.NewNodes(word)
+	}
+	if p.rec == rec && p.n == len(word) && p.nodes != nil {
+		nodes, err := rb.RebuildNodes(word, p.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("rebuild nodes: %w", err)
+		}
+		return nodes, nil
+	}
+	//ringvet:ignore hotpathalloc -- first run (or a recognizer/size switch) constructs fresh nodes; the steady path above rebuilds in place
+	nodes, err := rec.NewNodes(word)
+	if err != nil {
+		return nil, err
+	}
+	p.rec, p.n, p.nodes = rec, len(word), nodes
+	return nodes, nil
+}
+
+// buildNodes is Run's node-construction step: through the reuse slot when
+// one is attached, fresh otherwise.
+func buildNodes(rec Recognizer, word lang.Word, reuse *NodeReuse) ([]ring.Node, error) {
+	if reuse != nil {
+		return reuse.build(rec, word)
+	}
+	return rec.NewNodes(word)
+}

@@ -59,6 +59,21 @@ type RunOptions struct {
 	// errors.Is. Cancellation is checked at amortized cost, so the hot path
 	// is unaffected. A nil Ctx means the run cannot be canceled.
 	Ctx context.Context
+	// Prefix, when non-nil, reuses shared-prefix computation across runs: the
+	// run resumes from the deepest checkpoint the cache holds for a prefix of
+	// word and deposits checkpoints at the cache's capture boundaries for
+	// later runs. Only engaged when the recognizer is PrefixExtendable, the
+	// engine checkpoints (ring.CheckpointEngine) on a prefix-stable schedule
+	// (ring.ScheduleIsPrefixStable), and RecordTrace is off; otherwise the
+	// run proceeds cold exactly as without the cache. Results are bit-for-bit
+	// identical either way.
+	Prefix *PrefixCache
+	// Reuse, when non-nil, reuses node construction across runs: when the
+	// same recognizer runs on same-length words back to back and supports
+	// in-place relabelling (NodeRebuilder — every token recognizer does),
+	// the previous run's ring is relabelled instead of reallocated. Like
+	// State, a NodeReuse belongs to one worker at a time.
+	Reuse *NodeReuse
 }
 
 // engine resolves the options to a concrete engine.
@@ -84,7 +99,7 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 	if err := rec.Language().Alphabet().ValidWord(word); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	nodes, err := rec.NewNodes(word)
+	nodes, err := buildNodes(rec, word, opts.Reuse)
 	if err != nil {
 		return nil, fmt.Errorf("core: build nodes for %s: %w", rec.Name(), err)
 	}
@@ -103,6 +118,18 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 		Ctx:            opts.Ctx,
 	}
 	var res *ring.Result
+	if opts.Prefix != nil {
+		st := opts.State
+		if st != nil && opts.Presize > 0 {
+			st.Reserve(opts.Presize)
+		}
+		if r, handled, perr := prefixRun(opts.Prefix, rec, word, engine, st, cfg, nodes); handled {
+			if perr != nil {
+				return nil, fmt.Errorf("core: run %s on %d letters: %w", rec.Name(), len(word), perr)
+			}
+			return r, nil
+		}
+	}
 	if se, ok := engine.(ring.StatefulEngine); ok && (opts.State != nil || opts.Presize > 0) {
 		st := opts.State
 		if st == nil {

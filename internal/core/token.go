@@ -67,6 +67,10 @@ type TokenAlgo[S any] struct {
 // NewTokenRecognizer; the zero value is not usable.
 type TokenRecognizer[S any] struct {
 	spec TokenAlgo[S]
+	// check is the per-letter validation NewNodes and RebuildNodes apply —
+	// the spec's own CheckLetter, or alphabet membership. Resolved once at
+	// construction so the rebuild hot path closes over nothing.
+	check func(lang.Letter) error
 }
 
 // errInvalidTokenAlgo is wrapped by every NewTokenRecognizer validation error.
@@ -119,7 +123,18 @@ func NewTokenRecognizer[S any](spec TokenAlgo[S]) (*TokenRecognizer[S], error) {
 	if spec.Dir == 0 {
 		spec.Dir = ring.Forward
 	}
-	return &TokenRecognizer[S]{spec: spec}, nil
+	t := &TokenRecognizer[S]{spec: spec}
+	t.check = spec.CheckLetter
+	if t.check == nil {
+		alphabet := spec.Language.Alphabet()
+		t.check = func(letter lang.Letter) error {
+			if !alphabet.Contains(letter) {
+				return fmt.Errorf("letter %q outside the alphabet", letter)
+			}
+			return nil
+		}
+	}
+	return t, nil
 }
 
 // mustTokenRecognizer is the constructor for the statically-declared
@@ -152,16 +167,7 @@ func (t *TokenRecognizer[S]) Passes() int { return len(t.spec.Passes) }
 
 // NewNodes implements Recognizer.
 func (t *TokenRecognizer[S]) NewNodes(word lang.Word) ([]ring.Node, error) {
-	check := t.spec.CheckLetter
-	if check == nil {
-		alphabet := t.spec.Language.Alphabet()
-		check = func(letter lang.Letter) error {
-			if !alphabet.Contains(letter) {
-				return fmt.Errorf("letter %q outside the alphabet", letter)
-			}
-			return nil
-		}
-	}
+	check := t.check
 	nodes := make([]ring.Node, len(word))
 	states := make([]tokenPassNode[S], len(word))
 	for i, letter := range word {
@@ -172,6 +178,33 @@ func (t *TokenRecognizer[S]) NewNodes(word lang.Word) ([]ring.Node, error) {
 		nodes[i] = &states[i]
 	}
 	return nodes, nil
+}
+
+// RebuildNodes implements NodeRebuilder: it relabels a ring NewNodes built
+// for an equal-length word in place, resetting every node to the state a
+// fresh construction would give it. At large n this is what keeps the
+// steady-state run cost in the engine loop instead of in allocating,
+// zeroing and faulting a fresh ring per word (see core.NodeReuse).
+//
+//ring:hotpath guard=TestNodeReuseStaysOnRebuildFloor
+func (t *TokenRecognizer[S]) RebuildNodes(word lang.Word, prev []ring.Node) ([]ring.Node, error) {
+	if len(prev) != len(word) {
+		return nil, algoErr(t.spec.AlgoName, fmt.Errorf("rebuild: %d nodes for %d letters", len(prev), len(word)))
+	}
+	check := t.check
+	for i, letter := range word {
+		node, ok := prev[i].(*tokenPassNode[S])
+		if !ok || node.alg != t {
+			return nil, algoErr(t.spec.AlgoName, fmt.Errorf("rebuild: node %d was not built by this recognizer", i))
+		}
+		if err := check(letter); err != nil {
+			return nil, algoErr(t.spec.AlgoName, err)
+		}
+		node.letter = letter
+		node.seen = 0
+		node.reader = bits.Reader{}
+	}
+	return prev, nil
 }
 
 // tokenPassNode is the one per-processor implementation behind every token
@@ -275,3 +308,17 @@ func (n *tokenPassNode[S]) Receive(ctx *ring.Context, _ ring.Direction, payload 
 	}
 	return n.emit(ctx, p, s), nil
 }
+
+// ResumeState implements ring.PrefixResumable. A token-pass processor's only
+// per-run mutable state is how many tokens it has handled — the token itself
+// carries everything else and rides in the checkpoint's pending queue — so
+// the whole framework is checkpointable through this one pair of methods
+// rather than per-algorithm ports.
+//
+//ring:deterministic
+func (n *tokenPassNode[S]) ResumeState() int64 { return int64(n.seen) }
+
+// Resume implements ring.PrefixResumable.
+//
+//ring:hotpath guard=TestCheckpointResumeAllocRegressionGuard
+func (n *tokenPassNode[S]) Resume(state int64) { n.seen = int(state) }

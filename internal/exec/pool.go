@@ -37,6 +37,12 @@ type Job struct {
 	// for a ring of that many processors before the run, so large-ring jobs
 	// proceed without growth reallocations (see core.RunOptions.Presize).
 	Presize int
+	// Prefix, when non-nil, reuses shared-prefix computation across the
+	// batch's runs (and any other runs sharing the cache): each job resumes
+	// from the deepest checkpoint the cache holds for a prefix of its word
+	// (see core.RunOptions.Prefix). Sharing one cache across all jobs of a
+	// pool is the intended shape — workers populate it for each other.
+	Prefix *core.PrefixCache
 }
 
 // Result is the outcome of one Job. Stats is an independent snapshot: it
@@ -192,12 +198,18 @@ type engineKey struct {
 type worker struct {
 	named  map[engineKey]ring.Engine
 	states map[ring.Engine]*ring.RunState
+	// reuse relabels the previous job's ring in place when consecutive jobs
+	// run the same recognizer at the same ring size (core.NodeReuse) — the
+	// common shape of a batch, where node construction would otherwise be
+	// the dominant per-word allocation.
+	reuse *core.NodeReuse
 }
 
 func newWorker() *worker {
 	return &worker{
 		named:  make(map[engineKey]ring.Engine),
 		states: make(map[ring.Engine]*ring.RunState),
+		reuse:  core.NewNodeReuse(),
 	}
 }
 
@@ -238,7 +250,7 @@ func (w *worker) run(ctx context.Context, job Job) Result {
 		st = ring.NewRunState()
 		w.states[engine] = st
 	}
-	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace, Presize: job.Presize}
+	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace, Presize: job.Presize, Prefix: job.Prefix, Reuse: w.reuse}
 	var res *ring.Result
 	if job.Check {
 		res, err = core.Check(job.Rec, job.Word, opts)

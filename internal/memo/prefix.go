@@ -1,0 +1,311 @@
+package memo
+
+import "sync"
+
+// This file is the prefix tier of the memoization stack: where Cache stores
+// one value per exact key, PrefixStore stores values keyed by *prefixes* of a
+// symbol sequence and answers "what is the deepest stored prefix of this
+// sequence?". The serving stack uses it to hold engine checkpoints — a
+// lookup for a word finds the longest checkpointed prefix to resume from —
+// but the store itself is generic: namespaces, symbols and values are type
+// parameters, so it knows nothing about rings.
+//
+// Layout: one path-compressed trie (radix tree) per namespace, so a stored
+// prefix of depth d costs O(d) symbol copies but O(1) nodes on a chain with
+// no branch points — a million-letter prefix is one node, not a million.
+// Entries across all namespaces share one LRU list accounted in bytes, so
+// the budget is global and a hot namespace can evict a cold one.
+
+// PrefixStats is a point-in-time snapshot of a PrefixStore's counters.
+type PrefixStats struct {
+	// Hits counts lookups whose deepest stored prefix reached the requested
+	// maximum depth — the caller resumes with no cold suffix beyond what it
+	// asked for.
+	Hits uint64
+	// PartialHits counts lookups that found a usable but shallower prefix.
+	PartialHits uint64
+	// Misses counts lookups that found no stored prefix at all.
+	Misses uint64
+	// Evictions counts entries dropped to bytes-budget pressure.
+	Evictions uint64
+	// Entries is the current number of stored prefixes.
+	Entries int
+	// Bytes is the current accounted size of the stored values.
+	Bytes int64
+}
+
+// HitRatio is (Hits + PartialHits) / lookups, or zero before any lookup:
+// the fraction of lookups that found something usable.
+func (st PrefixStats) HitRatio() float64 {
+	total := st.Hits + st.PartialHits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits+st.PartialHits) / float64(total)
+}
+
+// prefixEntry is one stored value on the LRU list.
+type prefixEntry[NS comparable, S comparable, V any] struct {
+	node       *prefixNode[NS, S, V]
+	ns         NS
+	depth      int
+	val        V
+	bytes      int64
+	prev, next *prefixEntry[NS, S, V]
+}
+
+// prefixNode is one radix-tree node. edge is the compressed symbol run
+// leading here from the parent (nil at a namespace root); children are keyed
+// by the first symbol of their edge.
+type prefixNode[NS comparable, S comparable, V any] struct {
+	parent   *prefixNode[NS, S, V]
+	edge     []S
+	children map[S]*prefixNode[NS, S, V]
+	entry    *prefixEntry[NS, S, V]
+}
+
+// prefixEntryOverhead approximates the fixed bookkeeping bytes per stored
+// entry (entry struct, trie node, map slot) added on top of the caller's
+// value size and the edge symbols.
+const prefixEntryOverhead = 192
+
+// PrefixStore is a bounded, concurrency-safe store of values keyed by
+// (namespace, sequence prefix). Build one with NewPrefixStore; the zero
+// value is not usable.
+type PrefixStore[NS comparable, S comparable, V any] struct {
+	mu       sync.Mutex
+	maxBytes int64
+	sizeOf   func(V) int64
+	roots    map[NS]*prefixNode[NS, S, V]
+	lru      prefixEntry[NS, S, V] // sentinel; next is most recent
+	entries  int
+	bytes    int64
+
+	hits        uint64
+	partialHits uint64
+	misses      uint64
+	evictions   uint64
+}
+
+// NewPrefixStore builds a store bounded to roughly maxBytes of accounted
+// value bytes (plus fixed per-entry overhead). sizeOf reports the retained
+// size of one value; nil counts every value as one byte, turning the budget
+// into an entry count. A maxBytes of zero or less stores nothing usable —
+// every insert is evicted immediately.
+func NewPrefixStore[NS comparable, S comparable, V any](maxBytes int64, sizeOf func(V) int64) *PrefixStore[NS, S, V] {
+	if sizeOf == nil {
+		sizeOf = func(V) int64 { return 1 }
+	}
+	p := &PrefixStore[NS, S, V]{
+		maxBytes: maxBytes,
+		sizeOf:   sizeOf,
+		roots:    make(map[NS]*prefixNode[NS, S, V]),
+	}
+	p.lru.prev = &p.lru
+	p.lru.next = &p.lru
+	return p
+}
+
+//ring:hotpath guard=TestPrefixStoreLookupAllocRegressionGuard
+func (e *prefixEntry[NS, S, V]) unlink() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+//ring:hotpath guard=TestPrefixStoreLookupAllocRegressionGuard
+func (p *PrefixStore[NS, S, V]) pushFront(e *prefixEntry[NS, S, V]) {
+	e.prev = &p.lru
+	e.next = p.lru.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// Lookup walks seq up to maxLen symbols deep in ns's trie and returns the
+// value of the deepest stored prefix, its depth, and whether anything was
+// found. The found entry is marked most recently used. A hit allocates
+// nothing.
+//
+//ring:hotpath guard=TestPrefixStoreLookupAllocRegressionGuard
+func (p *PrefixStore[NS, S, V]) Lookup(ns NS, seq []S, maxLen int) (v V, depth int, ok bool) {
+	if maxLen > len(seq) {
+		maxLen = len(seq)
+	}
+	p.mu.Lock()
+	var best *prefixEntry[NS, S, V]
+	node := p.roots[ns]
+	i := 0
+walk:
+	for node != nil && i < maxLen {
+		child := node.children[seq[i]]
+		if child == nil {
+			break
+		}
+		// The whole compressed edge must match within the depth limit;
+		// entries live at node boundaries, so a partial edge match holds no
+		// deeper entry.
+		if i+len(child.edge) > maxLen {
+			break
+		}
+		for j, s := range child.edge {
+			if seq[i+j] != s {
+				break walk
+			}
+		}
+		i += len(child.edge)
+		node = child
+		if child.entry != nil {
+			best = child.entry
+		}
+	}
+	if best == nil {
+		p.misses++
+		p.mu.Unlock()
+		var zero V
+		return zero, 0, false
+	}
+	if best.depth == maxLen {
+		p.hits++
+	} else {
+		p.partialHits++
+	}
+	best.unlink()
+	p.pushFront(best)
+	v = best.val
+	depth = best.depth
+	p.mu.Unlock()
+	return v, depth, true
+}
+
+// Insert stores v under the first depth symbols of seq in ns, replacing any
+// existing value at that exact prefix, then evicts least-recently-used
+// entries (across all namespaces) until the store fits its bytes budget.
+// Depths outside [1, len(seq)] are ignored.
+func (p *PrefixStore[NS, S, V]) Insert(ns NS, seq []S, depth int, v V) {
+	if depth < 1 || depth > len(seq) {
+		return
+	}
+	bytes := p.sizeOf(v) + int64(depth)*int64(sizeofSymbol[S]()) + prefixEntryOverhead
+	p.mu.Lock()
+	root := p.roots[ns]
+	if root == nil {
+		root = &prefixNode[NS, S, V]{children: make(map[S]*prefixNode[NS, S, V])}
+		p.roots[ns] = root
+	}
+	node := p.descend(root, seq, depth)
+	if e := node.entry; e != nil {
+		p.bytes += bytes - e.bytes
+		e.val = v
+		e.bytes = bytes
+		e.unlink()
+		p.pushFront(e)
+	} else {
+		e := &prefixEntry[NS, S, V]{node: node, ns: ns, depth: depth, val: v, bytes: bytes}
+		node.entry = e
+		p.pushFront(e)
+		p.entries++
+		p.bytes += bytes
+	}
+	for p.bytes > p.maxBytes && p.lru.prev != &p.lru {
+		p.evict(p.lru.prev)
+	}
+	p.mu.Unlock()
+}
+
+// descend walks (and builds, splitting compressed edges as needed) the trie
+// path for seq[:depth] and returns its end node. Caller holds p.mu.
+func (p *PrefixStore[NS, S, V]) descend(node *prefixNode[NS, S, V], seq []S, depth int) *prefixNode[NS, S, V] {
+	i := 0
+	for i < depth {
+		child := node.children[seq[i]]
+		if child == nil {
+			// No edge starts with seq[i]: hang the whole remainder here as
+			// one compressed leaf. The symbols are cloned so the store never
+			// aliases the caller's sequence.
+			leaf := &prefixNode[NS, S, V]{parent: node, edge: append([]S(nil), seq[i:depth]...)}
+			if node.children == nil {
+				node.children = make(map[S]*prefixNode[NS, S, V], 1)
+			}
+			node.children[seq[i]] = leaf
+			return leaf
+		}
+		// Match the compressed edge against the remaining prefix.
+		limit := len(child.edge)
+		if rem := depth - i; rem < limit {
+			limit = rem
+		}
+		m := 0
+		for m < limit && child.edge[m] == seq[i+m] {
+			m++
+		}
+		if m == len(child.edge) {
+			node = child
+			i += m
+			continue
+		}
+		// The edge diverges (or overshoots the requested depth) after m
+		// matched symbols: split it at m.
+		mid := &prefixNode[NS, S, V]{
+			parent:   node,
+			edge:     child.edge[:m:m],
+			children: map[S]*prefixNode[NS, S, V]{child.edge[m]: child},
+		}
+		child.edge = child.edge[m:]
+		child.parent = mid
+		node.children[seq[i]] = mid
+		i += m
+		if i == depth {
+			return mid
+		}
+		leaf := &prefixNode[NS, S, V]{parent: mid, edge: append([]S(nil), seq[i:depth]...)}
+		mid.children[seq[i]] = leaf
+		return leaf
+	}
+	return node
+}
+
+// evict removes e and prunes its now-valueless trie path. Caller holds p.mu.
+func (p *PrefixStore[NS, S, V]) evict(e *prefixEntry[NS, S, V]) {
+	e.unlink()
+	e.node.entry = nil
+	p.entries--
+	p.bytes -= e.bytes
+	p.evictions++
+	// Prune upward: a node with no entry and no children only existed to
+	// reach e.
+	for node := e.node; node.parent != nil && node.entry == nil && len(node.children) == 0; node = node.parent {
+		delete(node.parent.children, node.edge[0])
+	}
+}
+
+// Stats returns a snapshot of the store's counters.
+func (p *PrefixStore[NS, S, V]) Stats() PrefixStats {
+	p.mu.Lock()
+	st := PrefixStats{
+		Hits:        p.hits,
+		PartialHits: p.partialHits,
+		Misses:      p.misses,
+		Evictions:   p.evictions,
+		Entries:     p.entries,
+		Bytes:       p.bytes,
+	}
+	p.mu.Unlock()
+	return st
+}
+
+// sizeofSymbol approximates the in-memory size of one stored symbol for the
+// bytes budget. Symbols are comparable scalars in practice (runes, bytes);
+// anything larger is still dominated by the value sizes the budget tracks.
+func sizeofSymbol[S comparable]() int {
+	var s S
+	switch any(s).(type) {
+	case byte, int8, bool:
+		return 1
+	case int16, uint16:
+		return 2
+	case int64, uint64, int, uint, float64:
+		return 8
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,194 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// newTestStore builds a rune-keyed store whose values are their own sizes,
+// which makes byte-budget arithmetic in the tests explicit.
+func newTestStore(maxBytes int64) *PrefixStore[string, rune, int64] {
+	return NewPrefixStore[string, rune, int64](maxBytes, func(v int64) int64 { return v })
+}
+
+func TestPrefixStoreDeepestPrefixWins(t *testing.T) {
+	p := newTestStore(1 << 20)
+	word := []rune("abcdefgh")
+	p.Insert("ns", word, 2, 200)
+	p.Insert("ns", word, 5, 500)
+	p.Insert("ns", word, 8, 800)
+
+	// A lookup bounded below the deepest entry returns the deepest within
+	// bounds.
+	if v, depth, ok := p.Lookup("ns", word, 6); !ok || depth != 5 || v != 500 {
+		t.Fatalf("Lookup(maxLen=6) = (%d, %d, %v), want (500, 5, true)", v, depth, ok)
+	}
+	// The full word reaches the depth-8 entry: a full hit.
+	if v, depth, ok := p.Lookup("ns", word, 8); !ok || depth != 8 || v != 800 {
+		t.Fatalf("Lookup(maxLen=8) = (%d, %d, %v), want (800, 8, true)", v, depth, ok)
+	}
+	// A diverging word only shares the first three letters.
+	if v, depth, ok := p.Lookup("ns", []rune("abcXXXXX"), 8); !ok || depth != 2 || v != 200 {
+		t.Fatalf("diverging Lookup = (%d, %d, %v), want (200, 2, true)", v, depth, ok)
+	}
+	// A fully foreign word misses.
+	if _, _, ok := p.Lookup("ns", []rune("zzzz"), 4); ok {
+		t.Fatal("foreign word should miss")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.PartialHits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 partial, 1 miss", st)
+	}
+}
+
+func TestPrefixStoreEdgeSplitting(t *testing.T) {
+	p := newTestStore(1 << 20)
+	// One compressed chain, then an insert that forces a split mid-edge.
+	p.Insert("ns", []rune("abcdefgh"), 8, 1)
+	p.Insert("ns", []rune("abcdXYZ"), 7, 2)
+	p.Insert("ns", []rune("abcd"), 4, 3)
+
+	for _, tc := range []struct {
+		word  string
+		depth int
+		val   int64
+	}{
+		{"abcdefgh", 8, 1},
+		{"abcdXYZ", 7, 2},
+		{"abcdQQQ", 4, 3}, // diverges after the split point
+	} {
+		if v, depth, ok := p.Lookup("ns", []rune(tc.word), len(tc.word)); !ok || depth != tc.depth || v != tc.val {
+			t.Errorf("Lookup(%q) = (%d, %d, %v), want (%d, %d, true)", tc.word, v, depth, ok, tc.val, tc.depth)
+		}
+	}
+	if st := p.Stats(); st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+}
+
+func TestPrefixStoreNamespacesAreIsolated(t *testing.T) {
+	p := newTestStore(1 << 20)
+	word := []rune("shared")
+	p.Insert("a", word, 6, 111)
+	if _, _, ok := p.Lookup("b", word, 6); ok {
+		t.Fatal("namespace b sees namespace a's entry")
+	}
+	if v, _, ok := p.Lookup("a", word, 6); !ok || v != 111 {
+		t.Fatal("namespace a lost its own entry")
+	}
+}
+
+func TestPrefixStoreReplaceExistingPrefix(t *testing.T) {
+	p := newTestStore(1 << 20)
+	word := []rune("abcd")
+	p.Insert("ns", word, 4, 100)
+	p.Insert("ns", word, 4, 900)
+	if v, _, ok := p.Lookup("ns", word, 4); !ok || v != 900 {
+		t.Fatalf("replacement not visible: got %d", v)
+	}
+	st := p.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after replace, want 1", st.Entries)
+	}
+	// The budget accounts the new size, not the sum of both.
+	wantBytes := int64(900) + 4*4 + prefixEntryOverhead
+	if st.Bytes != wantBytes {
+		t.Fatalf("bytes = %d after replace, want %d", st.Bytes, wantBytes)
+	}
+}
+
+func TestPrefixStoreEvictsLRUOnBytesBudget(t *testing.T) {
+	// Each entry costs 1000 (value) + 4*4 (edge) + overhead; a budget of
+	// three such entries holds exactly three.
+	per := int64(1000) + 16 + prefixEntryOverhead
+	p := newTestStore(3 * per)
+	words := make([][]rune, 4)
+	for i := range words {
+		words[i] = []rune(fmt.Sprintf("wrd%d", i))
+		p.Insert("ns", words[i], 4, 1000)
+	}
+	st := p.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 3 entries and 1 eviction", st)
+	}
+	// words[0] was least recently used and must be gone.
+	if _, _, ok := p.Lookup("ns", words[0], 4); ok {
+		t.Fatal("oldest entry survived the budget")
+	}
+	// Touch words[1], insert a fresh word: words[2] is now the victim.
+	if _, _, ok := p.Lookup("ns", words[1], 4); !ok {
+		t.Fatal("words[1] missing")
+	}
+	p.Insert("ns", []rune("wrd4"), 4, 1000)
+	if _, _, ok := p.Lookup("ns", words[1], 4); !ok {
+		t.Fatal("recently used words[1] was evicted over stale words[2]")
+	}
+	if _, _, ok := p.Lookup("ns", words[2], 4); ok {
+		t.Fatal("stale words[2] survived over recently used words[1]")
+	}
+}
+
+func TestPrefixStoreZeroBudgetStoresNothing(t *testing.T) {
+	p := newTestStore(0)
+	p.Insert("ns", []rune("abcd"), 4, 10)
+	st := p.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("zero-budget store retained %+v", st)
+	}
+}
+
+func TestPrefixStoreInvalidDepthsIgnored(t *testing.T) {
+	p := newTestStore(1 << 20)
+	p.Insert("ns", []rune("ab"), 0, 1)
+	p.Insert("ns", []rune("ab"), 3, 1)
+	p.Insert("ns", []rune("ab"), -1, 1)
+	if st := p.Stats(); st.Entries != 0 {
+		t.Fatalf("invalid depths stored: %+v", p.Stats())
+	}
+}
+
+// TestPrefixStoreLookupAllocRegressionGuard pins the hot path: a lookup —
+// hit, partial hit or miss — performs zero allocations.
+func TestPrefixStoreLookupAllocRegressionGuard(t *testing.T) {
+	p := newTestStore(1 << 20)
+	word := []rune("abcdefghijklmnop")
+	p.Insert("ns", word, 8, 100)
+	p.Insert("ns", word, 16, 200)
+	diverging := []rune("abcdefghZZ") // shares the depth-8 entry, diverges before 16
+	foreign := []rune("qqqq")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, ok := p.Lookup("ns", word, 16); !ok {
+			t.Fatal("hit expected")
+		}
+		if _, _, ok := p.Lookup("ns", diverging, len(diverging)); !ok {
+			t.Fatal("partial hit expected")
+		}
+		if _, _, ok := p.Lookup("ns", foreign, len(foreign)); ok {
+			t.Fatal("miss expected")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("lookup path allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func TestPrefixStoreConcurrentAccess(t *testing.T) {
+	p := newTestStore(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			word := []rune(fmt.Sprintf("worker%d-abcdefgh", g))
+			for i := 0; i < 200; i++ {
+				p.Insert("ns", word, len(word)-i%4, int64(100+i%7))
+				p.Lookup("ns", word, len(word))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("corrupted accounting: %+v", st)
+	}
+}

@@ -55,9 +55,28 @@ func (lp *loopState) decide(proc int, v Verdict) error {
 //ring:deterministic
 //ring:hotpath guard=TestEngineLoopAllocRegressionGuard,TestLoopAllocatesLessThanSeedLoop
 func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, error) {
+	return runLoopFrom(cfg, nodes, sched, st, CheckpointRun{})
+}
+
+// runLoopFrom is runLoop extended with prefix checkpointing: run.Resume
+// skips the start phase and reinstates a captured execution, and
+// run.CaptureAfter freezes checkpoints at the requested delivery counts. A
+// zero run is exactly runLoop; the hot delivery loop pays one integer
+// compare for the capture boundary and nothing for resume.
+//
+//ring:deterministic
+//ring:hotpath guard=TestEngineLoopAllocRegressionGuard,TestLoopAllocatesLessThanSeedLoop,TestCheckpointResumeAllocRegressionGuard
+func runLoopFrom(cfg Config, nodes []Node, sched Scheduler, st *RunState, run CheckpointRun) (*Result, error) {
 	cfg, err := cfg.normalize(len(nodes))
 	if err != nil {
 		return nil, err
+	}
+	var ck checkpointableScheduler
+	if run.Resume != nil || (run.OnCapture != nil && len(run.CaptureAfter) > 0) {
+		var ok bool
+		if ck, ok = sched.(checkpointableScheduler); !ok {
+			return nil, fmt.Errorf("%w: schedule %q cannot capture or resume checkpoints", ErrNotPrefixStable, sched.Name())
+		}
 	}
 	var ctxDone <-chan struct{}
 	if cfg.Ctx != nil {
@@ -105,32 +124,57 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 		return nil
 	}
 
-	// Start phase.
-	for i := 0; i < n; i++ {
-		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
-			continue
-		}
-		if cfg.RecordTrace {
-			//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
-			lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventStart, Processor: i})
-			lp.seq++
-		}
-		sends, err := nodes[i].Start(&contexts[i])
-		if err != nil {
-			return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
-		}
-		if err := dispatch(i, sends); err != nil {
+	delivered := 0
+	if run.Resume != nil {
+		// Resume: the start phase (and the checkpointed prefix of the
+		// delivery loop) already happened in the captured execution; install
+		// its state instead of replaying it.
+		if err := restoreCheckpoint(run.Resume, cfg, nodes, ck, lp); err != nil {
 			return nil, err
 		}
-		if lp.verdict != VerdictNone {
-			break
+		delivered = run.Resume.delivered
+	} else {
+		// Start phase.
+		for i := 0; i < n; i++ {
+			if cfg.Initiators == LeaderOnly && i != LeaderIndex {
+				continue
+			}
+			if cfg.RecordTrace {
+				//ringvet:ignore hotpathalloc -- trace recording is opt-in and excluded from the alloc budget
+				lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventStart, Processor: i})
+				lp.seq++
+			}
+			sends, err := nodes[i].Start(&contexts[i])
+			if err != nil {
+				return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
+			}
+			if err := dispatch(i, sends); err != nil {
+				return nil, err
+			}
+			if lp.verdict != VerdictNone {
+				break
+			}
 		}
+	}
+
+	// Capture plan: stopAt is the next boundary (or -1, which delivered
+	// never equals), so the hot loop below pays a single compare per
+	// delivery whether or not captures are requested.
+	capAfter := run.CaptureAfter
+	if run.OnCapture == nil {
+		capAfter = nil
+	}
+	stopAt := -1
+	for len(capAfter) > 0 && (capAfter[0] <= delivered || capAfter[0] < 1) {
+		capAfter = capAfter[1:]
+	}
+	if len(capAfter) > 0 {
+		stopAt = capAfter[0]
 	}
 
 	// Delivery loop. Cancellation is polled every ctxCheckInterval deliveries:
 	// a non-blocking receive on a prefetched Done channel, so runs with a
 	// context pay no allocation and runs without one pay a nil test.
-	delivered := 0
 	for lp.verdict == VerdictNone {
 		if ctxDone != nil && delivered&(ctxCheckInterval-1) == 0 {
 			select {
@@ -165,6 +209,22 @@ func runLoop(cfg Config, nodes []Node, sched Scheduler, st *RunState) (*Result, 
 		}
 		if err := dispatch(d.To, sends); err != nil {
 			return nil, err
+		}
+		if delivered == stopAt {
+			// The delivery and its dispatches are complete and no verdict
+			// fired: freeze the undecided state between deliveries.
+			cp, err := captureCheckpoint(ck, lp, nodes, delivered)
+			if err != nil {
+				return nil, err
+			}
+			run.OnCapture(cp)
+			stopAt = -1
+			for capAfter = capAfter[1:]; len(capAfter) > 0; capAfter = capAfter[1:] {
+				if capAfter[0] > delivered {
+					stopAt = capAfter[0]
+					break
+				}
+			}
 		}
 	}
 
@@ -203,6 +263,18 @@ func (e *ScheduledEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 // RunWith implements StatefulEngine.
 func (e *ScheduledEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, st.scheduler(e, e.factory), st)
+}
+
+var _ CheckpointEngine = (*ScheduledEngine)(nil)
+
+// RunCheckpointed implements CheckpointEngine. It fails with
+// ErrNotPrefixStable when the engine's scheduler cannot checkpoint (capture
+// or resume under a schedule that is not prefix-stable).
+func (e *ScheduledEngine) RunCheckpointed(st *RunState, cfg Config, nodes []Node, run CheckpointRun) (*Result, error) {
+	if st == nil {
+		st = &RunState{}
+	}
+	return runLoopFrom(cfg, nodes, st.scheduler(e, e.factory), st, run)
 }
 
 // NewRoundRobinEngine returns an engine delivering round-robin by link.

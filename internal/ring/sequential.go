@@ -25,3 +25,14 @@ func (e *SequentialEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 func (e *SequentialEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, st.scheduler(e, NewFIFOScheduler), st)
 }
+
+var _ CheckpointEngine = (*SequentialEngine)(nil)
+
+// RunCheckpointed implements CheckpointEngine: global FIFO is
+// prefix-stable, so the sequential engine both captures and resumes.
+func (e *SequentialEngine) RunCheckpointed(st *RunState, cfg Config, nodes []Node, run CheckpointRun) (*Result, error) {
+	if st == nil {
+		st = &RunState{}
+	}
+	return runLoopFrom(cfg, nodes, st.scheduler(e, NewFIFOScheduler), st, run)
+}

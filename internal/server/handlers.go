@@ -492,12 +492,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	st := s.CacheStats()
+	pst := s.PrefixStats()
 	writeJSON(w, code, struct {
-		Status   string  `json:"status"`
-		InFlight int     `json:"inflight"`
-		Hits     uint64  `json:"cacheHits"`
-		Misses   uint64  `json:"cacheMisses"`
-		Entries  int     `json:"cacheEntries"`
-		HitRatio float64 `json:"cacheHitRatio"`
-	}{Status: status, InFlight: s.inflight(), Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, HitRatio: st.HitRatio()})
+		Status    string  `json:"status"`
+		InFlight  int     `json:"inflight"`
+		Hits      uint64  `json:"cacheHits"`
+		Misses    uint64  `json:"cacheMisses"`
+		Evictions uint64  `json:"cacheEvictions"`
+		Entries   int     `json:"cacheEntries"`
+		HitRatio  float64 `json:"cacheHitRatio"`
+
+		PrefixHits        uint64  `json:"prefixHits"`
+		PrefixPartialHits uint64  `json:"prefixPartialHits"`
+		PrefixMisses      uint64  `json:"prefixMisses"`
+		PrefixEvictions   uint64  `json:"prefixEvictions"`
+		PrefixEntries     int     `json:"prefixEntries"`
+		PrefixBytes       int64   `json:"prefixBytes"`
+		PrefixHitRatio    float64 `json:"prefixHitRatio"`
+	}{
+		Status: status, InFlight: s.inflight(),
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries, HitRatio: st.HitRatio(),
+		PrefixHits: pst.Hits, PrefixPartialHits: pst.PartialHits, PrefixMisses: pst.Misses,
+		PrefixEvictions: pst.Evictions, PrefixEntries: pst.Entries, PrefixBytes: pst.Bytes,
+		PrefixHitRatio: pst.HitRatio(),
+	})
 }

@@ -45,15 +45,23 @@ type Config struct {
 	// request) cannot accumulate idle worker pools. Values < 1 mean
 	// DefaultMaxClients.
 	MaxClients int
+	// PrefixCacheBytes sizes the prefix-checkpoint cache shared by every
+	// Client the server builds: where the memo cache answers exact repeats
+	// without an engine run, this tier makes *distinct* words cheaper when
+	// they share prefixes, by resuming runs from stored engine checkpoints
+	// (ringlang.WithSharedPrefixCache). Negative disables the tier; zero
+	// means DefaultPrefixCacheBytes.
+	PrefixCacheBytes int64
 }
 
 // Defaults for the zero Config.
 const (
-	DefaultCacheCapacity  = 4096
-	DefaultMaxBatchWords  = 4096
-	DefaultMaxWordLetters = 1 << 16
-	DefaultMaxBodyBytes   = 1 << 20
-	DefaultMaxClients     = 64
+	DefaultCacheCapacity    = 4096
+	DefaultMaxBatchWords    = 4096
+	DefaultMaxWordLetters   = 1 << 16
+	DefaultMaxBodyBytes     = 1 << 20
+	DefaultMaxClients       = 64
+	DefaultPrefixCacheBytes = 32 << 20
 )
 
 // clientKey identifies one cached *ringlang.Client. Schedule is normalized
@@ -69,9 +77,10 @@ type clientKey struct {
 // Server holds the per-key Clients, the memo cache and the admission
 // semaphore behind the HTTP handlers. Build with New; always Close.
 type Server struct {
-	cfg   Config
-	cache *memo.Cache[*ringlang.Report] // nil when caching is disabled
-	sem   chan struct{}
+	cfg    Config
+	cache  *memo.Cache[*ringlang.Report] // nil when caching is disabled
+	prefix *ringlang.PrefixCache         // nil when the prefix tier is disabled
+	sem    chan struct{}
 
 	mu       sync.Mutex
 	clients  map[clientKey]*clientEntry
@@ -104,6 +113,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = DefaultCacheCapacity
 	}
+	if cfg.PrefixCacheBytes == 0 {
+		cfg.PrefixCacheBytes = DefaultPrefixCacheBytes
+	}
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
@@ -111,6 +123,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheCapacity > 0 {
 		s.cache = memo.New[*ringlang.Report](cfg.CacheCapacity, cfg.CacheShards)
+	}
+	if cfg.PrefixCacheBytes > 0 {
+		s.prefix = ringlang.NewPrefixCache(cfg.PrefixCacheBytes)
 	}
 	return s
 }
@@ -166,6 +181,16 @@ func (s *Server) CacheStats() memo.Stats {
 		return memo.Stats{}
 	}
 	return s.cache.Stats()
+}
+
+// PrefixStats reports the shared prefix-checkpoint cache counters (zero when
+// the tier is off); /healthz serves the same numbers next to the exact-hit
+// cache's.
+func (s *Server) PrefixStats() memo.PrefixStats {
+	if s.prefix == nil {
+		return memo.PrefixStats{}
+	}
+	return s.prefix.Stats()
 }
 
 // keyFor builds the canonical client key of one request: the schedule is
@@ -245,6 +270,7 @@ func (s *Server) acquireClient(ck clientKey) (*clientEntry, error) {
 		ringlang.WithSchedule(ck.schedule),
 		ringlang.WithSeed(ck.seed),
 		ringlang.WithWorkers(s.cfg.Workers),
+		ringlang.WithSharedPrefixCache(s.prefix),
 	)
 	if err != nil {
 		return nil, err
@@ -338,6 +364,10 @@ func (s *Server) String() string {
 	if s.cache != nil {
 		cache = fmt.Sprintf("%d entries", s.cfg.CacheCapacity)
 	}
-	return fmt.Sprintf("ringserve: cache=%s maxInFlight=%d maxBatchWords=%d",
-		cache, s.cfg.MaxInFlight, s.cfg.MaxBatchWords)
+	prefix := "off"
+	if s.prefix != nil {
+		prefix = fmt.Sprintf("%d bytes", s.cfg.PrefixCacheBytes)
+	}
+	return fmt.Sprintf("ringserve: cache=%s prefixCache=%s maxInFlight=%d maxBatchWords=%d",
+		cache, prefix, s.cfg.MaxInFlight, s.cfg.MaxBatchWords)
 }

@@ -387,6 +387,80 @@ func TestHealthzAndDraining(t *testing.T) {
 	}
 }
 
+// TestPrefixTierServesSharedPrefixes drives distinct (uncacheable by the
+// exact-hit memo tier) words sharing long prefixes through /v1/batch and
+// checks the shared prefix-checkpoint cache engages, the reports stay
+// correct, and /healthz surfaces the prefix counters next to the exact-hit
+// cache's (evictions included — the field satellite of this PR).
+func TestPrefixTierServesSharedPrefixes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	prefix := strings.Repeat("01", 24)
+	words := []string{prefix + "0000", prefix + "0001", prefix + "0110", prefix + "1111"}
+	var got struct {
+		Results []wordResult `json:"results"`
+	}
+	status := postJSON(t, ts.URL+"/v1/batch",
+		runRequest{Algorithm: "majority", Words: words}, &got)
+	if status != http.StatusOK || len(got.Results) != len(words) {
+		t.Fatalf("batch status=%d results=%d", status, len(got.Results))
+	}
+	for i, res := range got.Results {
+		if res.Error != "" {
+			t.Fatalf("word %d: %s", i, res.Error)
+		}
+		want := "reject"
+		if res.Report.Member {
+			want = "accept"
+		}
+		if res.Report.Verdict != want {
+			t.Errorf("word %d (%q): verdict %q, language says %q", i, words[i], res.Report.Verdict, want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status            string  `json:"status"`
+		CacheEvictions    *uint64 `json:"cacheEvictions"`
+		PrefixHits        uint64  `json:"prefixHits"`
+		PrefixPartialHits uint64  `json:"prefixPartialHits"`
+		PrefixMisses      uint64  `json:"prefixMisses"`
+		PrefixEntries     int     `json:"prefixEntries"`
+		PrefixBytes       int64   `json:"prefixBytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.CacheEvictions == nil {
+		t.Error("healthz omits cacheEvictions")
+	}
+	if health.PrefixHits+health.PrefixPartialHits == 0 {
+		t.Errorf("prefix tier never hit across shared-prefix words: %+v", health)
+	}
+	if health.PrefixEntries == 0 || health.PrefixBytes == 0 {
+		t.Errorf("prefix tier stored nothing: %+v", health)
+	}
+}
+
+// TestPrefixTierDisabled pins the negative-budget switch: no prefix cache is
+// built and /healthz reports zeros.
+func TestPrefixTierDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{PrefixCacheBytes: -1})
+	if s.prefix != nil {
+		t.Fatal("negative PrefixCacheBytes built a cache")
+	}
+	status := postJSON(t, ts.URL+"/v1/batch",
+		runRequest{Algorithm: "majority", Words: []string{"0110", "0111"}}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+	if st := s.PrefixStats(); st != (ringlang.PrefixStats{}) {
+		t.Errorf("disabled tier reported %+v", st)
+	}
+}
+
 // TestBackpressure429 fills the admission semaphore and checks the server
 // sheds load instead of queueing.
 func TestBackpressure429(t *testing.T) {

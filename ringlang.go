@@ -49,6 +49,7 @@ import (
 
 	"ringlang/internal/core"
 	"ringlang/internal/lang"
+	"ringlang/internal/memo"
 	"ringlang/internal/ring"
 )
 
@@ -69,7 +70,20 @@ type (
 	Stats = ring.Stats
 	// Trace is the recorded event sequence of a run (see WithTrace).
 	Trace = ring.Trace
+	// PrefixCache reuses shared-prefix computation across runs; build one
+	// with NewPrefixCache and attach it with WithSharedPrefixCache (or let
+	// WithPrefixCache build a client-private one).
+	PrefixCache = core.PrefixCache
+	// PrefixStats is a PrefixCache's hit/miss/eviction counters.
+	PrefixStats = memo.PrefixStats
 )
+
+// NewPrefixCache builds a prefix-checkpoint cache bounded to roughly
+// maxBytes of retained checkpoint state, for sharing across clients with
+// WithSharedPrefixCache. See WithPrefixCache for what the cache does.
+func NewPrefixCache(maxBytes int64) *PrefixCache {
+	return core.NewPrefixCache(maxBytes)
+}
 
 // Verdict values.
 const (
