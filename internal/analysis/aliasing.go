@@ -1,0 +1,343 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the dataflow tier's alias machinery: a conservative,
+// flow-ordered notion of *freshness*. An expression is fresh when every
+// piece of mutable memory it can reach was allocated inside the current
+// function (or inside a callee the summary pass proved allocates its
+// result): make, new, composite literals with fresh elements, append onto
+// nil or fresh backing, []byte(string) conversions (strings are immutable,
+// the conversion copies), and calls to functions whose every ref-carrying
+// result is fresh (Clone and friends — proved from their bodies, not their
+// names).
+//
+// The analysis is deliberately modest: assignments are processed in source
+// order with no branch sensitivity (an identifier is fresh if its last
+// textual assignment was fresh), aliasing through pointers to locals is not
+// tracked, and anything unrecognized is NOT fresh. That bias is the sound
+// one for snapshotpure, which reports stores of non-fresh values: the
+// analyzer may demand an unnecessary clone, it will not bless an aliased
+// one.
+
+// freshState is the per-function flow state: which locals currently hold
+// fresh values, and which fields of a local struct value were overwritten
+// with fresh values (the d.Payload = d.Payload.Clone() idiom).
+type freshState struct {
+	info *types.Info
+	prog *Program
+
+	vars   map[types.Object]bool
+	fields map[fieldRef]bool
+}
+
+type fieldRef struct {
+	base  types.Object
+	field string
+}
+
+func newFreshState(info *types.Info, prog *Program) *freshState {
+	return &freshState{
+		info:   info,
+		prog:   prog,
+		vars:   make(map[types.Object]bool),
+		fields: make(map[fieldRef]bool),
+	}
+}
+
+// observeAssign folds one assignment (or short declaration) into the state.
+func (fs *freshState) observeAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			fs.setLhs(lhs, fs.freshExpr(as.Rhs[i]))
+		}
+		return
+	}
+	// Tuple assignment from a single call: every result is fresh when the
+	// callee's summary says so (the error result of (T, error) shapes is an
+	// interface nobody snapshots).
+	fresh := false
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			fresh = fs.freshCall(call)
+		}
+	}
+	for _, lhs := range as.Lhs {
+		fs.setLhs(lhs, fresh)
+	}
+}
+
+// setLhs records the freshness of one assignment target.
+func (fs *freshState) setLhs(lhs ast.Expr, fresh bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := fs.objOf(l); obj != nil {
+			fs.vars[obj] = fresh
+			// A whole-value overwrite invalidates remembered field facts.
+			for ref := range fs.fields {
+				if ref.base == obj {
+					delete(fs.fields, ref)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj := fs.objOf(base); obj != nil {
+				fs.fields[fieldRef{obj, l.Sel.Name}] = fresh
+			}
+		}
+	}
+}
+
+func (fs *freshState) objOf(id *ast.Ident) types.Object {
+	if o := fs.info.Uses[id]; o != nil {
+		return o
+	}
+	return fs.info.Defs[id]
+}
+
+// freshExpr reports whether e is fresh in the current state. Expressions of
+// types with no mutable references (ints, strings, ref-free structs) are
+// vacuously fresh: there is nothing to alias.
+func (fs *freshState) freshExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if t := fs.info.TypeOf(e); t != nil && !typeHasMutableRefs(t) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return true
+		}
+		obj := fs.objOf(e)
+		if obj == nil || !fs.vars[obj] {
+			return fs.structFieldsFreshened(e)
+		}
+		return true
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if !fs.freshExpr(v) {
+				return false
+			}
+		}
+		return true
+	case *ast.UnaryExpr:
+		// &T{...} allocates; &x aliases x.
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			return fs.freshExpr(lit)
+		}
+		return false
+	case *ast.CallExpr:
+		return fs.freshCall(e)
+	case *ast.SliceExpr:
+		return fs.freshExpr(e.X)
+	case *ast.StarExpr:
+		return false
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if obj := fs.objOf(base); obj != nil && (fs.vars[obj] || fs.fields[fieldRef{obj, e.Sel.Name}]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// structFieldsFreshened reports whether every ref-carrying field of the
+// struct-typed identifier was individually overwritten with a fresh value —
+// the "freshen the payload, keep the rest" pattern checkpoint capture uses.
+func (fs *freshState) structFieldsFreshened(id *ast.Ident) bool {
+	obj := fs.objOf(id)
+	if obj == nil {
+		return false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	any := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !typeHasMutableRefs(f.Type()) {
+			continue
+		}
+		if !fs.fields[fieldRef{obj, f.Name()}] {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+// freshCall reports whether a call expression yields fresh memory: builtins
+// (make, new, append-onto-fresh), copying conversions, the clone helpers of
+// the standard library, and program functions whose summary proves every
+// ref-carrying result fresh.
+func (fs *freshState) freshCall(call *ast.CallExpr) bool {
+	// Conversions: []byte(s) and named-type conversions preserve or copy.
+	if tv, ok := fs.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		arg := call.Args[0]
+		if at := fs.info.TypeOf(arg); at != nil {
+			if b, ok := at.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return true // string -> []byte/[]rune copies out of immutable memory
+			}
+		}
+		return fs.freshExpr(arg)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := fs.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				return true
+			case "append":
+				if !fs.freshExpr(call.Args[0]) {
+					return false
+				}
+				rest := call.Args[1:]
+				if call.Ellipsis.IsValid() && len(rest) > 0 {
+					// append(fresh, xs...) copies the elements out of xs; if
+					// the element type carries no references that copy is the
+					// clone idiom (append([]int32(nil), src...)) and xs itself
+					// need not be fresh.
+					last := rest[len(rest)-1]
+					rest = rest[:len(rest)-1]
+					if t := fs.info.TypeOf(last); t != nil {
+						if s, ok := t.Underlying().(*types.Slice); ok && !typeHasMutableRefs(s.Elem()) {
+							last = nil
+						}
+					}
+					if last != nil && !fs.freshExpr(last) {
+						return false
+					}
+				}
+				for _, a := range rest {
+					if !fs.freshExpr(a) {
+						return false
+					}
+				}
+				return true
+			case "min", "max", "len", "cap":
+				return true
+			}
+			return false
+		}
+	}
+	if pkg, name := calleePkgFunc(fs.info, call); name == "Clone" &&
+		(pkg == "slices" || pkg == "maps" || pkg == "bytes" || pkg == "strings") {
+		return true
+	}
+	if fn := calleeFunc(fs.info, call); fn != nil && fs.prog != nil {
+		return fs.prog.returnsFresh(funcIDOf(fn))
+	}
+	return false
+}
+
+// returnsFresh reports whether every ref-carrying result of the identified
+// program function is fresh memory. Summaries are computed once per
+// Program by monotone fixpoint: start with nothing fresh, promote a
+// function when every return statement proves out under the current
+// summary set, repeat until stable. Functions outside the program (standard
+// library) never qualify — the conservative direction.
+func (prog *Program) returnsFresh(id FuncID) bool {
+	if prog.fresh == nil {
+		prog.fresh = make(map[FuncID]bool)
+		for changed := true; changed; {
+			changed = false
+			for fid, pf := range prog.Funcs {
+				if prog.fresh[fid] {
+					continue
+				}
+				if prog.fnReturnsFresh(pf) {
+					prog.fresh[fid] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return prog.fresh[id]
+}
+
+// fnReturnsFresh evaluates one function body under the current summaries.
+func (prog *Program) fnReturnsFresh(pf *ProgFunc) bool {
+	results := pf.Decl.Type.Results
+	if results == nil {
+		return false
+	}
+	fs := newFreshState(pf.Target.Info, prog)
+	ok := true
+	returned := false
+	// Named results participate as ordinary variables (bare returns).
+	var named []types.Object
+	for _, f := range results.List {
+		for _, n := range f.Names {
+			named = append(named, pf.Target.Info.Defs[n])
+		}
+	}
+	ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures have their own frame
+		case *ast.AssignStmt:
+			fs.observeAssign(n)
+		case *ast.ReturnStmt:
+			returned = true
+			if len(n.Results) == 0 {
+				for _, obj := range named {
+					if obj != nil && typeHasMutableRefs(obj.Type()) && !fs.vars[obj] {
+						ok = false
+					}
+				}
+				return true
+			}
+			for _, r := range n.Results {
+				if !fs.freshExpr(r) {
+					ok = false
+				}
+			}
+		}
+		return true
+	})
+	return ok && returned
+}
+
+// typeHasMutableRefs reports whether values of t can reach mutable shared
+// memory: slices, maps, pointers, channels, funcs and interfaces do;
+// numbers, bools and strings do not; composites inherit from their
+// elements.
+func typeHasMutableRefs(t types.Type) bool {
+	return typeRefs(t, make(map[types.Type]bool))
+}
+
+func typeRefs(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeRefs(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return typeRefs(u.Elem(), seen)
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return true // unknown shapes count as referencing — the conservative side
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllocFlow is the interprocedural face of hotpathalloc: every function
+// statically reachable from a //ring:hotpath root — through the program
+// call graph, including interface dispatch resolved against the module's
+// method sets — is held to the same allocation rules as the roots
+// themselves, without needing its own directive. PR 8 hand-hoisted a
+// closure's captured letter check to a struct field because the profiler,
+// not an analyzer, caught the per-run environment allocation in a hot
+// callee; this analyzer makes that class of regression a compile-time
+// finding.
+//
+// Scope and soundness:
+//   - roots are the //ring:hotpath functions; functions they are proven to
+//     reach are checked, functions already carrying the directive are left
+//     to hotpathalloc (their findings and suppressions are unchanged);
+//   - propagation stops at //ring:coldpath functions (setup, capture and
+//     error paths that share code with hot loops but never run per-message)
+//     and at call sites suppressed with //ringvet:ignore allocflow;
+//   - calls through function-typed values (the token framework's
+//     Fold/Encode/Decode hooks) are not resolved — those hook bodies are
+//     covered by the //ring:hotpath marks on the recognizers instead;
+//   - functions declared in _test.go files are never checked: the alloc
+//     floor is a production invariant, and test doubles legitimately
+//     allocate.
+//
+// Each finding names the shortest root→function chain so the reader can see
+// why an unannotated function is considered hot.
+// allocFlowName is referenced from HotReachable's suppression check; a
+// named constant avoids an initialization cycle through the Analyzer value.
+const allocFlowName = "allocflow"
+
+var AllocFlow = &Analyzer{
+	Name: allocFlowName,
+	Doc: "propagate //ring:hotpath reachability through the call graph and apply the " +
+		"hotpathalloc rules to every reached function; findings carry the root chain",
+	Run: runAllocFlow,
+}
+
+func runAllocFlow(pass *Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	reach := pass.Prog.hotReachable()
+	ids := make([]FuncID, 0, len(reach))
+	for id := range reach {
+		ids = append(ids, id)
+	}
+	sortFuncIDs(ids)
+	for _, id := range ids {
+		r := reach[id]
+		fn := r.Fn
+		// Only report into the package this Pass owns; the same Program is
+		// shared across every target's Pass, so each function is checked
+		// exactly once.
+		if fn.Target.Pkg != pass.Pkg {
+			continue
+		}
+		if fn.Marks.Hotpath || fn.TestFile {
+			continue
+		}
+		chain := chainString(r.Via)
+		rep := func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format+" [hot via %s]", append(args, chain)...)
+		}
+		walkStack(fn.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			checkAllocNode(pass, n, stack, rep)
+			return true
+		})
+	}
+	return nil
+}
+
+// hotReachable caches the reachability computation on the Program: every
+// target's allocflow Pass shares one traversal.
+func (prog *Program) hotReachable() map[FuncID]*HotReach {
+	if prog.hotReach == nil {
+		prog.hotReach = prog.HotReachable()
+	}
+	return prog.hotReach
+}
+
+// chainString renders a Via chain compactly: package paths dropped, the
+// module-unique function names kept.
+func chainString(via []FuncID) string {
+	parts := make([]string, len(via))
+	for i, id := range via {
+		s := string(id)
+		if j := strings.LastIndexByte(s, '/'); j >= 0 {
+			s = s[j+1:]
+		}
+		// s is now "pkg.(Recv).Name" or "pkg.Name"; keep it whole — the
+		// package short name disambiguates cross-package chains.
+		parts[i] = s
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ringlang/internal/analysis"
+	"ringlang/internal/analysis/vettest"
+)
+
+// TestAllocFlow loads the whole allocflow fixture tree — the in-package
+// propagation cases in a and the cross-package root-in-b, callee-in-lib
+// chain — as one program, the same way cmd/ringvet sees the module.
+func TestAllocFlow(t *testing.T) {
+	vettest.Run(t, "allocflow", analysis.AllocFlow)
+}

@@ -61,13 +61,16 @@ type Target struct {
 }
 
 // Pass carries one analyzer's view of one package, plus the directive index
-// shared by the whole run.
+// shared by the whole run. Prog is the whole-program view (call graph,
+// alias summaries) the interprocedural analyzers consume; it always covers
+// at least the package of this Pass.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	marks  *markIndex
 	report func(Diagnostic)
@@ -101,27 +104,40 @@ func (p *Pass) Prealloc(pos token.Pos) bool {
 	return p.marks.lineMarked(p.Fset, pos, markPrealloc)
 }
 
-// RunAnalyzers runs every analyzer over the target and returns the combined
-// diagnostics sorted by position. Analyzer errors (not findings — failures
-// to run) abort the whole call.
+// RunAnalyzers runs every analyzer over one target and returns the combined
+// diagnostics sorted by position. The program view the interprocedural
+// analyzers need is built from the single target; use RunProgram when more
+// than one package is in play so cross-package edges resolve.
 func RunAnalyzers(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
-	marks, err := buildMarkIndex(t.Fset, t.Files)
+	return RunProgram([]Target{t}, analyzers)
+}
+
+// RunProgram builds the whole-program view over the targets, runs every
+// analyzer over every target, and returns the combined diagnostics sorted
+// by position. Analyzer errors (not findings — failures to run) abort the
+// whole call.
+func RunProgram(targets []Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog, err := BuildProgram(targets)
 	if err != nil {
 		return nil, err
 	}
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      t.Fset,
-			Files:     t.Files,
-			Pkg:       t.Pkg,
-			TypesInfo: t.Info,
-			marks:     marks,
-			report:    func(d Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+	for i := range prog.Targets {
+		t := &prog.Targets[i]
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      t.Fset,
+				Files:     t.Files,
+				Pkg:       t.Pkg,
+				TypesInfo: t.Info,
+				Prog:      prog,
+				marks:     prog.marks[t],
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the dataflow tier's foundation: a conservative intra-module
+// call graph built from the syntax and type information the loader already
+// produces. The loader type-checks each package separately against export
+// data, so a function seen from its defining package and the same function
+// seen through an import are *different* go/types objects; the graph
+// therefore keys every function by a stable textual FuncID
+// ("pkgpath.(recv).Name") that both views render identically.
+//
+// Edges:
+//   - static calls (functions, methods, generic instantiations) resolve
+//     through the type checker;
+//   - calls through an interface method resolve to every concrete method in
+//     the program with the same name and parameter/result signature — an
+//     over-approximation (two unrelated interfaces sharing a method shape
+//     merge), which is the sound direction for reachability analyses;
+//   - a function literal's body belongs to its enclosing declaration, which
+//     is how the existing directive scoping already treats closures.
+//
+// Not modeled (documented soundness limits): calls through function-typed
+// variables and fields (the token framework's Fold/Encode/Decode hooks),
+// reflection, and linkname tricks. Analyzers built on the graph must state
+// which side of that line they sit on.
+
+// FuncID is the stable cross-package identity of a declared function:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for methods
+// (pointerness dropped, type parameters stripped).
+type FuncID string
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Callee FuncID
+	// Pos is the call position, used for per-edge //ringvet:ignore checks
+	// and for explaining propagation chains in diagnostics.
+	Pos token.Pos
+	// Dynamic marks edges resolved through an interface method set rather
+	// than a static callee.
+	Dynamic bool
+}
+
+// ProgFunc is one declared function of the analyzed program.
+type ProgFunc struct {
+	ID     FuncID
+	Decl   *ast.FuncDecl
+	Target *Target
+	Marks  Marks
+	// TestFile reports whether the declaration lives in a _test.go file.
+	TestFile bool
+}
+
+// Program is the whole-run view shared by the interprocedural analyzers:
+// every target package, every declared function, and the call graph over
+// them. Build it once per ringvet invocation with BuildProgram.
+type Program struct {
+	Targets []Target
+	Funcs   map[FuncID]*ProgFunc
+	Edges   map[FuncID][]CallEdge
+
+	marks    map[*Target]*markIndex
+	hotReach map[FuncID]*HotReach // cached HotReachable result
+	fresh    map[FuncID]bool      // returns-fresh summaries; see aliasing.go
+}
+
+// BuildProgram indexes the targets' declarations and resolves the call
+// graph. The per-target directive indexes are built here too, so RunProgram
+// shares them with each Pass.
+func BuildProgram(targets []Target) (*Program, error) {
+	prog := &Program{
+		Funcs: make(map[FuncID]*ProgFunc),
+		Edges: make(map[FuncID][]CallEdge),
+		marks: make(map[*Target]*markIndex),
+	}
+	prog.Targets = targets
+
+	// Pass 1: declarations, marks, and the concrete-method index used to
+	// resolve interface calls.
+	type methodKey struct{ name, sig string }
+	methods := make(map[methodKey][]FuncID)
+	for i := range prog.Targets {
+		t := &prog.Targets[i]
+		idx, err := buildMarkIndex(t.Fset, t.Files)
+		if err != nil {
+			return nil, err
+		}
+		prog.marks[t] = idx
+		for _, f := range t.Files {
+			fname := t.Fset.Position(f.Pos()).Filename
+			isTest := strings.HasSuffix(fname, "_test.go")
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := t.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				id := funcIDOf(obj)
+				var marks Marks
+				if fd.Doc != nil {
+					marks, _ = parseFuncMarks(fd.Doc) // malformed docs already failed buildMarkIndex
+				}
+				pf := &ProgFunc{ID: id, Decl: fd, Target: t, Marks: marks, TestFile: isTest}
+				prog.Funcs[id] = pf
+				if fd.Recv != nil {
+					key := methodKey{fd.Name.Name, signatureString(obj.Type().(*types.Signature))}
+					methods[key] = append(methods[key], id)
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, pf := range prog.Funcs {
+		t := pf.Target
+		ast.Inspect(pf.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(t.Info, call); fn != nil {
+				// Static resolution — but a method reached through an
+				// interface-typed receiver is still dynamic: resolve it
+				// against the concrete method index below.
+				if !isInterfaceMethodCall(t.Info, call) {
+					id := funcIDOf(fn)
+					if _, inProg := prog.Funcs[id]; inProg {
+						prog.Edges[pf.ID] = append(prog.Edges[pf.ID], CallEdge{Callee: id, Pos: call.Pos()})
+					}
+					return true
+				}
+				key := methodKey{fn.Name(), signatureString(fn.Type().(*types.Signature))}
+				for _, impl := range methods[key] {
+					prog.Edges[pf.ID] = append(prog.Edges[pf.ID], CallEdge{Callee: impl, Pos: call.Pos(), Dynamic: true})
+				}
+			}
+			return true
+		})
+	}
+	return prog, nil
+}
+
+// isInterfaceMethodCall reports whether call invokes a method through an
+// interface value (the dynamic dispatch case the method index resolves).
+func isInterfaceMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	return types.IsInterface(selection.Recv().Underlying())
+}
+
+// funcIDOf renders the stable identity of fn. Instantiated generics fold
+// back to their origin declaration.
+func funcIDOf(fn *types.Func) FuncID {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return FuncID(pkg + ".(" + recvTypeName(sig.Recv().Type()) + ")." + fn.Name())
+	}
+	return FuncID(pkg + "." + fn.Name())
+}
+
+// recvTypeName names a receiver type with pointerness and type parameters
+// stripped.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Origin().Obj().Name()
+	}
+	return t.String()
+}
+
+// signatureString renders a signature with full package paths, without the
+// receiver, and without parameter/result names (an interface may name its
+// results while an implementation does not — the shapes still match), so
+// the same method prints identically from its source package and through
+// export data.
+func signatureString(sig *types.Signature) string {
+	plain := types.NewSignatureType(nil, nil, nil, unnamedTuple(sig.Params()), unnamedTuple(sig.Results()), sig.Variadic())
+	return types.TypeString(plain, func(p *types.Package) string { return p.Path() })
+}
+
+// unnamedTuple copies a tuple with the variable names dropped.
+func unnamedTuple(t *types.Tuple) *types.Tuple {
+	vars := make([]*types.Var, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		vars[i] = types.NewVar(token.NoPos, nil, "", t.At(i).Type())
+	}
+	return types.NewTuple(vars...)
+}
+
+// HotpathRoots returns the IDs of every //ring:hotpath function, sorted for
+// deterministic traversal order.
+func (prog *Program) HotpathRoots() []FuncID {
+	var roots []FuncID
+	for id, pf := range prog.Funcs {
+		if pf.Marks.Hotpath {
+			roots = append(roots, id)
+		}
+	}
+	sortFuncIDs(roots)
+	return roots
+}
+
+// HotReach is one function's membership in the hot-path reachable set, with
+// the chain that put it there.
+type HotReach struct {
+	Fn *ProgFunc
+	// Via is the shortest directive-to-here chain, root first, this
+	// function last.
+	Via []FuncID
+}
+
+// HotReachable computes the set of functions statically reachable from the
+// //ring:hotpath roots, breadth-first so each chain recorded is shortest.
+// An edge whose call line carries //ringvet:ignore allocflow is pruned: the
+// suppression vocabulary that silences a finding also stops propagation.
+func (prog *Program) HotReachable() map[FuncID]*HotReach {
+	reach := make(map[FuncID]*HotReach)
+	queue := make([]FuncID, 0, len(prog.Funcs))
+	for _, root := range prog.HotpathRoots() {
+		reach[root] = &HotReach{Fn: prog.Funcs[root], Via: []FuncID{root}}
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		cur := reach[id]
+		marks := prog.marks[cur.Fn.Target]
+		for _, e := range prog.Edges[id] {
+			if _, seen := reach[e.Callee]; seen {
+				continue
+			}
+			if marks.suppressed(cur.Fn.Target.Fset, e.Pos, allocFlowName) {
+				continue
+			}
+			callee := prog.Funcs[e.Callee]
+			if callee == nil || callee.Marks.Coldpath {
+				continue
+			}
+			via := make([]FuncID, len(cur.Via)+1)
+			copy(via, cur.Via)
+			via[len(via)-1] = e.Callee
+			reach[e.Callee] = &HotReach{Fn: callee, Via: via}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reach
+}
+
+func sortFuncIDs(ids []FuncID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

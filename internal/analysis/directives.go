@@ -16,8 +16,19 @@ type Marks struct {
 	Deterministic bool
 	// Guards are the alloc-regression test names declared by the guard=
 	// attribute of //ring:hotpath. The repo-level guard test
-	// (TestHotpathDirectivesNameLiveGuards) asserts they exist.
+	// (TestHotpathGuardsAreLiveTests) asserts they exist and actually
+	// measure allocations.
 	Guards []string
+	// Coldpath excludes the function from interprocedural hot-path
+	// propagation (//ring:coldpath -- reason): the function is only ever
+	// called off the steady-state path, so allocflow neither checks it nor
+	// descends through it. The reason is mandatory.
+	Coldpath bool
+	// Producer / Consumer declare which side of an SPSC boundary the
+	// function runs on (//ring:producer, //ring:consumer); shardsafe checks
+	// //ring:owner field accesses against them.
+	Producer bool
+	Consumer bool
 }
 
 // line-scoped marker kinds.
@@ -70,7 +81,7 @@ func buildMarkIndex(fset *token.FileSet, files []*ast.File) (*markIndex, error) 
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", fset.Position(fd.Pos()), err)
 				}
-				if m.Hotpath || m.Deterministic {
+				if m.any() {
 					idx.funcs = append(idx.funcs, markedFunc{pos: fd.Body.Pos(), end: fd.Body.End(), marks: m})
 				}
 			}
@@ -161,9 +172,30 @@ func parseFuncMarks(doc *ast.CommentGroup) (Marks, error) {
 				return m, fmt.Errorf("ring:deterministic takes no attributes, got %q", rest)
 			}
 			m.Deterministic = true
+		case strings.HasPrefix(text, "//ring:coldpath"):
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "//ring:coldpath"))
+			if reason, ok := strings.CutPrefix(rest, "--"); !ok || strings.TrimSpace(reason) == "" {
+				return m, fmt.Errorf("ring:coldpath needs a reason: %q (want //ring:coldpath -- <why this never runs per-message>)", text)
+			}
+			m.Coldpath = true
+		case strings.HasPrefix(text, "//ring:producer"):
+			if rest := strings.TrimSpace(strings.TrimPrefix(text, "//ring:producer")); rest != "" {
+				return m, fmt.Errorf("ring:producer takes no attributes, got %q", rest)
+			}
+			m.Producer = true
+		case strings.HasPrefix(text, "//ring:consumer"):
+			if rest := strings.TrimSpace(strings.TrimPrefix(text, "//ring:consumer")); rest != "" {
+				return m, fmt.Errorf("ring:consumer takes no attributes, got %q", rest)
+			}
+			m.Consumer = true
 		}
 	}
 	return m, nil
+}
+
+// any reports whether any directive is set.
+func (m Marks) any() bool {
+	return m.Hotpath || m.Deterministic || m.Coldpath || m.Producer || m.Consumer
 }
 
 // enclosing returns the marks of the innermost annotated function body

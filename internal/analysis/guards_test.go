@@ -28,6 +28,12 @@ func TestHotpathGuardsAreLiveTests(t *testing.T) {
 	}
 	var hotpaths []hotpathMark
 	testFuncs := make(map[string]bool)
+	// Syntactic call graph over the module's test files, by function name:
+	// enough to check that each guard transitively reaches an AllocsPerRun
+	// measurement. Names are merged module-wide, which over-approximates —
+	// the sound direction for a liveness check that only ever relaxes.
+	testCalls := make(map[string]map[string]bool)
+	measures := make(map[string]bool)
 
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -57,6 +63,26 @@ func TestHotpathGuardsAreLiveTests(t *testing.T) {
 			if isTest && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Test") {
 				testFuncs[fd.Name.Name] = true
 			}
+			if isTest && fd.Body != nil {
+				name := fd.Name.Name
+				calls := testCalls[name]
+				if calls == nil {
+					calls = make(map[string]bool)
+					testCalls[name] = calls
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SelectorExpr:
+						if id, ok := n.X.(*ast.Ident); ok && id.Name == "testing" && n.Sel.Name == "AllocsPerRun" {
+							measures[name] = true
+						}
+						calls[n.Sel.Name] = true
+					case *ast.Ident:
+						calls[n.Name] = true
+					}
+					return true
+				})
+			}
 			if fd.Doc == nil {
 				continue
 			}
@@ -82,6 +108,33 @@ func TestHotpathGuardsAreLiveTests(t *testing.T) {
 		t.Fatal("no //ring:hotpath directives found in the module; the annotation pass is missing")
 	}
 
+	if len(measures) == 0 {
+		t.Fatal("no test in the module calls testing.AllocsPerRun; the dynamic alloc-guard tier is missing")
+	}
+
+	// A guard that exists but never measures is a dead sentinel: require each
+	// one to reach testing.AllocsPerRun through the test-file call graph.
+	reaches := func(name string) bool {
+		seen := make(map[string]bool)
+		var visit func(string) bool
+		visit = func(fn string) bool {
+			if measures[fn] {
+				return true
+			}
+			if seen[fn] {
+				return false
+			}
+			seen[fn] = true
+			for callee := range testCalls[fn] {
+				if _, isTestFn := testCalls[callee]; isTestFn && visit(callee) {
+					return true
+				}
+			}
+			return false
+		}
+		return visit(name)
+	}
+
 	for _, m := range hotpaths {
 		if len(m.guards) == 0 {
 			t.Errorf("%s: //ring:hotpath on %s names no guard= alloc-regression test", m.pos, m.fn)
@@ -90,6 +143,10 @@ func TestHotpathGuardsAreLiveTests(t *testing.T) {
 		for _, g := range m.guards {
 			if !testFuncs[g] {
 				t.Errorf("%s: %s names guard %s, which is not a Test function anywhere in the module", m.pos, m.fn, g)
+				continue
+			}
+			if !reaches(g) {
+				t.Errorf("%s: guard %s never calls testing.AllocsPerRun (directly or through test helpers); it cannot pin the alloc budget %s claims", m.pos, g, m.fn)
 			}
 		}
 	}

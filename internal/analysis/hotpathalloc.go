@@ -27,43 +27,61 @@ var HotpathAlloc = &Analyzer{
 	Run: runHotpathAlloc,
 }
 
+// reportFn abstracts over who owns a finding: hotpathalloc reports through
+// its own Pass, allocflow wraps the same checks to append the propagation
+// chain and report under its own name (so //ringvet:ignore allocflow works).
+type reportFn func(pos token.Pos, format string, args ...any)
+
 func runHotpathAlloc(pass *Pass) error {
 	for _, f := range pass.Files {
 		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			if !pass.FuncMarks(n.Pos()).Hotpath {
 				return true
 			}
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkHotCall(pass, n, stack)
-			case *ast.BinaryExpr:
-				if n.Op == token.ADD && isStringExpr(pass, n) && !isConstExpr(pass, n) {
-					pass.Reportf(n.Pos(), "string concatenation allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
-				}
-			case *ast.AssignStmt:
-				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
-					pass.Reportf(n.Pos(), "string concatenation (+=) allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
-				}
-			case *ast.CompositeLit:
-				if _, ok := pass.TypesInfo.TypeOf(n).Underlying().(*types.Map); ok {
-					pass.Reportf(n.Pos(), "map literal allocates on the hot path; hoist it to init-time state")
-				}
-			case *ast.FuncLit:
-				checkHotClosure(pass, n, stack)
-			}
+			checkAllocNode(pass, n, stack, pass.Reportf)
 			return true
 		})
 	}
 	return nil
 }
 
+// checkAllocNode applies the allocation rules to one node. It is the shared
+// core of hotpathalloc (directive-scoped) and allocflow (call-graph-scoped).
+func checkAllocNode(pass *Pass, n ast.Node, stack []ast.Node, rep reportFn) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		checkHotCall(pass, n, stack, rep)
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringExpr(pass, n) && !isConstExpr(pass, n) {
+			// a+b+c nests BinaryExprs sharing one position; report the chain
+			// once, at its outermost node.
+			if len(stack) > 0 {
+				if p, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && p.Op == token.ADD && isStringExpr(pass, p) {
+					return
+				}
+			}
+			rep(n.Pos(), "string concatenation allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
+		}
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+			rep(n.Pos(), "string concatenation (+=) allocates on the hot path; use a preallocated buffer or the bits.Writer scratch")
+		}
+	case *ast.CompositeLit:
+		if _, ok := pass.TypesInfo.TypeOf(n).Underlying().(*types.Map); ok {
+			rep(n.Pos(), "map literal allocates on the hot path; hoist it to init-time state")
+		}
+	case *ast.FuncLit:
+		checkHotClosure(pass, n, stack, rep)
+	}
+}
+
 // checkHotCall handles the call-shaped rules: fmt, append, make(map/chan),
 // explicit and implicit interface conversions.
-func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, rep reportFn) {
 	// Explicit conversion T(x) to an interface type.
 	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type.Underlying()) && len(call.Args) == 1 && isConcreteValue(pass, call.Args[0]) {
-			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand on the hot path", exprString(call.Fun))
+			rep(call.Pos(), "conversion to interface %s boxes its operand on the hot path", exprString(call.Fun))
 		}
 		return
 	}
@@ -73,14 +91,14 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
 			switch b.Name() {
 			case "append":
 				if _, presized := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !presized && !pass.Prealloc(call.Pos()) {
-					pass.Reportf(call.Pos(), "append may grow %s on the hot path; append into a re-sliced scratch buffer, or assert presized backing with //ring:prealloc", exprString(call.Args[0]))
+					rep(call.Pos(), "append may grow %s on the hot path; append into a re-sliced scratch buffer, or assert presized backing with //ring:prealloc", exprString(call.Args[0]))
 				}
 			case "make":
 				switch pass.TypesInfo.TypeOf(call).Underlying().(type) {
 				case *types.Map:
-					pass.Reportf(call.Pos(), "make(map) allocates on the hot path; hoist it to init-time state")
+					rep(call.Pos(), "make(map) allocates on the hot path; hoist it to init-time state")
 				case *types.Chan:
-					pass.Reportf(call.Pos(), "make(chan) allocates on the hot path; hoist it to init-time state")
+					rep(call.Pos(), "make(chan) allocates on the hot path; hoist it to init-time state")
 				}
 			}
 			return
@@ -92,7 +110,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
 		if name == "Errorf" && inReturn(stack) {
 			return // constructing the error that ends the run is fine
 		}
-		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting state and interface boxing) on the hot path", name)
+		rep(call.Pos(), "fmt.%s allocates (formatting state and interface boxing) on the hot path", name)
 		return
 	}
 
@@ -118,7 +136,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
 			continue
 		}
 		if isConcreteValue(pass, arg) {
-			pass.Reportf(arg.Pos(), "passing concrete %s as interface parameter boxes it on the hot path", pass.TypesInfo.TypeOf(arg))
+			rep(arg.Pos(), "passing concrete %s as interface parameter boxes it on the hot path", pass.TypesInfo.TypeOf(arg))
 		}
 	}
 }
@@ -128,18 +146,18 @@ func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
 // built inside a loop. A non-escaping closure bound to a local variable is
 // stack-allocated and free — that is the shape memo.Key.hash and the loop's
 // verdictSink rely on.
-func checkHotClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node) {
+func checkHotClosure(pass *Pass, lit *ast.FuncLit, stack []ast.Node, rep reportFn) {
 	if !capturesOuter(pass, lit) {
 		return
 	}
 	if escapes, how := closureEscapes(pass, lit, stack); escapes {
-		pass.Reportf(lit.Pos(), "capturing closure %s on the hot path allocates its environment; pass state explicitly (see verdictSink)", how)
+		rep(lit.Pos(), "capturing closure %s on the hot path allocates its environment; pass state explicitly (see verdictSink)", how)
 		return
 	}
 	for _, anc := range stack {
 		switch anc.(type) {
 		case *ast.ForStmt, *ast.RangeStmt:
-			pass.Reportf(lit.Pos(), "capturing closure built inside a loop on the hot path allocates per iteration; hoist it out of the loop")
+			rep(lit.Pos(), "capturing closure built inside a loop on the hot path allocates per iteration; hoist it out of the loop")
 			return
 		}
 	}

@@ -119,10 +119,17 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 }
 
 // isTarget decides whether a listed package gets analyzed: module packages
-// only — no standard library, no synthesized test mains.
+// only — no standard library, no synthesized test mains, no testdata
+// fixtures (./... never matches those, but an explicit path argument can;
+// fixture packages import "fixture/..." paths only vettest can resolve).
 func isTarget(p listedPkg, module string) bool {
 	if p.Standard || len(p.GoFiles) == 0 {
 		return false
+	}
+	for _, seg := range strings.Split(filepath.ToSlash(p.Dir), "/") {
+		if seg == "testdata" {
+			return false
+		}
 	}
 	if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
 		return false // generated test binary main; its sources live in the build cache

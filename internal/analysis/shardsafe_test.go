@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ringlang/internal/analysis"
+	"ringlang/internal/analysis/vettest"
+)
+
+func TestShardSafe(t *testing.T) {
+	vettest.Run(t, "shardsafe/a", analysis.ShardSafe)
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapshotPure enforces checkpoint purity: a type marked //ring:snapshot
+// (ring.Checkpoint) freezes an execution, and one frozen value may serve
+// any number of concurrent resumes — which is only sound if nothing inside
+// it aliases mutable engine state. Every value stored into a snapshot
+// type's fields (by assignment, append, or composite literal) must
+// therefore be *fresh* in the aliasing.go sense: slices cloned out of the
+// run's arenas, maps rebuilt, structs with their ref-carrying fields
+// freshened. Storing a pointer that is not to freshly allocated memory is a
+// finding outright — a pointer into a RunState arena is exactly the bug
+// this analyzer exists for.
+//
+// Soundness limits: stores go through a first-class selector (cp.f = v,
+// cp.f = append(cp.f, v), T{f: v}); a store through an intermediate alias
+// (p := &cp.f; *p = v) is not seen. Freshness is flow-ordered and
+// branch-insensitive, and unknown callees are assumed to alias — so the
+// analyzer may demand a redundant clone, never bless an aliased one.
+// Fields are only checkable from the package declaring the snapshot type;
+// in this module Checkpoint's fields are unexported, so that is every
+// store there is.
+var SnapshotPure = &Analyzer{
+	Name: "snapshotpure",
+	Doc: "require values stored into //ring:snapshot types (ring.Checkpoint) to be freshly " +
+		"allocated: cloned slices, rebuilt maps, no pointers into run state",
+	Run: runSnapshotPure,
+}
+
+func runSnapshotPure(pass *Pass) error {
+	snap, err := snapshotTypes(pass)
+	if err != nil {
+		return err
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSnapshotStores(pass, fd, snap)
+		}
+	}
+	return nil
+}
+
+// snapshotTypes collects the package's //ring:snapshot-marked type names.
+// The directive takes no attributes; anything trailing is an error, not a
+// silent no-op.
+func snapshotTypes(pass *Pass) (map[*types.TypeName]bool, error) {
+	snap := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				found := false
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if !strings.HasPrefix(c.Text, "//ring:snapshot") {
+							continue
+						}
+						if rest := strings.TrimSpace(strings.TrimPrefix(c.Text, "//ring:snapshot")); rest != "" {
+							return nil, fmt.Errorf("%s: ring:snapshot takes no attributes, got %q",
+								pass.Fset.Position(c.Pos()), rest)
+						}
+						found = true
+					}
+				}
+				if found {
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						snap[tn] = true
+					}
+				}
+			}
+		}
+	}
+	return snap, nil
+}
+
+// checkSnapshotStores walks one function in source order, tracking
+// freshness, and reports impure stores into snapshot-typed values.
+func checkSnapshotStores(pass *Pass, fd *ast.FuncDecl, snap map[*types.TypeName]bool) {
+	fs := newFreshState(pass.TypesInfo, pass.Prog)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if sel, field := snapshotField(pass, lhs, snap); sel != nil {
+					checkStoredValue(pass, fs, sel, field, n.Rhs[i])
+				}
+			}
+			fs.observeAssign(n)
+		case *ast.CompositeLit:
+			if tn := namedTypeName(pass.TypesInfo.TypeOf(n)); tn != nil && snap[tn] {
+				checkSnapshotLiteral(pass, fs, n)
+			}
+		}
+		return true
+	})
+}
+
+// snapshotField matches an assignment target of the form x.f (or x[i].f)
+// whose base resolves to a snapshot-marked type; it returns the selector
+// and the field's variable.
+func snapshotField(pass *Pass, lhs ast.Expr, snap map[*types.TypeName]bool) (*ast.SelectorExpr, *types.Var) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	tn := namedTypeName(pass.TypesInfo.TypeOf(sel.X))
+	if tn == nil || !snap[tn] {
+		return nil, nil
+	}
+	field, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if field == nil || !field.IsField() {
+		return nil, nil
+	}
+	return sel, field
+}
+
+// checkStoredValue verifies one value headed into a snapshot field.
+func checkStoredValue(pass *Pass, fs *freshState, sel *ast.SelectorExpr, field *types.Var, rhs ast.Expr) {
+	if !typeHasMutableRefs(field.Type()) {
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	// Appending to the snapshot's own field grows checkpoint-owned backing;
+	// only the appended elements need to be fresh.
+	if call, ok := rhs.(*ast.CallExpr); ok && isAppendToSelf(pass, call, sel) {
+		for _, el := range call.Args[1:] {
+			if !fs.freshExpr(el) {
+				pass.Reportf(el.Pos(), "append stores %s into snapshot field %s: the element aliases mutable run state; clone its ref-carrying parts first (//ring:snapshot)",
+					exprString(el), exprString(sel))
+			}
+		}
+		return
+	}
+	if fs.freshExpr(rhs) {
+		return
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Pointer:
+		pass.Reportf(rhs.Pos(), "stores pointer %s into snapshot field %s: a checkpoint must not point into run state; copy the pointed-to value (//ring:snapshot)",
+			exprString(rhs), exprString(sel))
+	case *types.Map:
+		pass.Reportf(rhs.Pos(), "stores map %s into snapshot field %s without rebuilding it: the live map keeps mutating after capture; rebuild into a fresh map (//ring:snapshot)",
+			exprString(rhs), exprString(sel))
+	default:
+		pass.Reportf(rhs.Pos(), "stores %s into snapshot field %s: the value aliases mutable run state; clone it (append to nil, make+copy, or .Clone) before storing (//ring:snapshot)",
+			exprString(rhs), exprString(sel))
+	}
+}
+
+// checkSnapshotLiteral verifies the field values of a snapshot-typed
+// composite literal.
+func checkSnapshotLiteral(pass *Pass, fs *freshState, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		v := el
+		name := ""
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				name = id.Name
+			}
+		}
+		if t := pass.TypesInfo.TypeOf(v); t != nil && !typeHasMutableRefs(t) {
+			continue
+		}
+		if !fs.freshExpr(v) {
+			pass.Reportf(v.Pos(), "snapshot literal field %s holds %s, which aliases mutable run state; clone it before constructing the checkpoint (//ring:snapshot)",
+				name, exprString(v))
+		}
+	}
+}
+
+// isAppendToSelf reports whether call is append(sel, ...) growing the very
+// field being assigned.
+func isAppendToSelf(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return len(call.Args) > 0 && exprString(ast.Unparen(call.Args[0])) == exprString(sel)
+}
+
+// namedTypeName resolves t (through one pointer) to its defining TypeName.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Origin().Obj()
+	}
+	return nil
+}

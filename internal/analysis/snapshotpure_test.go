@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ringlang/internal/analysis"
+	"ringlang/internal/analysis/vettest"
+)
+
+func TestSnapshotPure(t *testing.T) {
+	vettest.Run(t, "snapshotpure/a", analysis.SnapshotPure)
+}

@@ -1,0 +1,14 @@
+// Package b carries the hot root of the cross-package allocflow fixture;
+// the allocating callee lives in fixture/allocflow/lib.
+package b
+
+import "fixture/allocflow/lib"
+
+// relay is hot; allocflow must follow the edge into lib.Emit.
+//
+//ring:hotpath guard=TestRelayAllocs
+func relay(n int) {
+	for i := 0; i < n; i++ {
+		lib.Emit(i)
+	}
+}

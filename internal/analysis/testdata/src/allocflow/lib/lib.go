@@ -1,0 +1,19 @@
+// Package lib holds the allocating helpers for the cross-package allocflow
+// fixture: the hot root lives in fixture/allocflow/b, so every finding here
+// exists only because propagation crossed the package boundary.
+package lib
+
+import "fmt"
+
+var buf []byte
+
+// Emit is reached from b.relay's //ring:hotpath root.
+func Emit(v int) {
+	buf = append(buf, byte(v)) // want "append may grow" "hot via"
+}
+
+// Describe is exported but never called from a hot root; its allocation
+// stays silent (cross-package true negative).
+func Describe(v int) string {
+	return fmt.Sprint(v)
+}

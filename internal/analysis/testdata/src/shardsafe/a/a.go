@@ -1,0 +1,73 @@
+// Package a is the shardsafe fixture: a miniature SPSC boundary ring with
+// both disciplines seeded — a plain read of a sync/atomic-managed field
+// (rule 1), role violations against //ring:owner fields (rule 2), and the
+// sanctioned setup idiom as true negatives.
+package a
+
+import "sync/atomic"
+
+type boundary struct {
+	head  atomic.Int64 //ring:owner consumer
+	tail  atomic.Int64 //ring:owner producer
+	spill []int64      //ring:owner producer
+	seq   int64        // managed through sync/atomic in push/pop
+	size  int
+}
+
+// push is the producer side: it owns tail and spill, and may read the
+// consumer's head atomically — that handshake IS the protocol.
+//
+//ring:producer
+func (q *boundary) push(v int64) {
+	t := q.tail.Load()
+	q.tail.Store(t + 1)
+	q.spill = append(q.spill, v)
+	atomic.AddInt64(&q.seq, 1)
+	_ = q.head.Load()
+}
+
+// pop is the consumer side.
+//
+//ring:consumer
+func (q *boundary) pop() int64 {
+	h := q.head.Load()
+	q.head.Store(h + 1)
+	_ = q.tail.Load()
+	return atomic.LoadInt64(&q.seq)
+}
+
+// depth reads seq without going through sync/atomic: the race rule 1 exists
+// to reject on every interleaving, not just the ones a test drives.
+func (q *boundary) depth() int64 {
+	return q.seq // want "plain access to field"
+}
+
+// observe carries no role, so even an atomic read of an owned counter is
+// out of protocol.
+func (q *boundary) observe() int64 {
+	return q.tail.Load() // want "neither //ring:producer nor //ring:consumer"
+}
+
+// steal is marked consumer but writes the producer's counter.
+//
+//ring:consumer
+func (q *boundary) steal() {
+	q.tail.Store(0) // want "mutates"
+}
+
+// spillDepth touches a plain owned field from outside the owning side;
+// plain fields need the matching role even for reads.
+func (q *boundary) spillDepth() int {
+	return len(q.spill) // want "from outside its owning side"
+}
+
+// reset legitimately touches both sides — it runs before the worker
+// goroutines exist, and says so per line (true negative).
+func (q *boundary) reset() {
+	//ringvet:ignore shardsafe -- reset runs before the worker goroutines launch
+	q.head.Store(0)
+	//ringvet:ignore shardsafe -- reset runs before the worker goroutines launch
+	q.tail.Store(0)
+	//ringvet:ignore shardsafe -- reset runs before the worker goroutines launch
+	q.spill = q.spill[:0]
+}

@@ -1,0 +1,57 @@
+// Package a is the snapshotpure fixture: a //ring:snapshot type, one
+// capture path that aliases live engine state in every way the analyzer
+// rejects, and one that clones everything — the idioms checkpoint capture
+// actually uses — as true negatives.
+package a
+
+// Checkpoint freezes an execution; any number of resumes may share one
+// value, so nothing inside it may alias the engine.
+//
+//ring:snapshot
+type Checkpoint struct {
+	states  [][]byte
+	pending []int32
+	meta    map[string]int
+	owner   *engine
+	count   int
+}
+
+type engine struct {
+	buf     []byte
+	pending []int32
+	labels  map[string]int
+	n       int
+}
+
+// capture is the impure path: every ref-carrying store aliases live state.
+func (e *engine) capture(cp *Checkpoint) {
+	cp.states = append(cp.states, e.buf) // want "aliases mutable run state"
+	cp.pending = e.pending               // want "clone it"
+	cp.meta = e.labels                   // want "without rebuilding it"
+	cp.owner = e                         // want "must not point into run state"
+	cp.count = e.n                       // scalar: nothing to alias
+}
+
+// captureClean clones everything first (true negatives throughout): the
+// variadic append-onto-nil idiom, make+copy-by-range for maps, and a local
+// proven fresh feeding the snapshot's own append.
+func (e *engine) captureClean(cp *Checkpoint) {
+	buf := append([]byte(nil), e.buf...)
+	cp.states = append(cp.states, buf)
+	cp.pending = append([]int32(nil), e.pending...)
+	meta := make(map[string]int, len(e.labels))
+	for k, v := range e.labels {
+		meta[k] = v
+	}
+	cp.meta = meta
+	cp.count = e.n
+}
+
+// snapshot builds the checkpoint as a composite literal; literal fields are
+// held to the same freshness rule.
+func (e *engine) snapshot() Checkpoint {
+	return Checkpoint{
+		pending: e.pending, // want "aliases mutable run state"
+		count:   e.n,
+	}
+}

@@ -22,19 +22,73 @@ func TestModuleIsRingvetClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite := analysis.All()
+	// One Program over every package: the interprocedural analyzers
+	// (allocflow, snapshotpure) need the whole module in view — a hot root
+	// in internal/ring reaches callees in internal/core and internal/bits,
+	// and freshness summaries resolve cross-package (bits.String.Clone).
+	targets := make([]analysis.Target, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(analysis.Target{
+		targets = append(targets, analysis.Target{
 			Fset:  pkg.Fset,
 			Files: pkg.Files,
 			Pkg:   pkg.Types,
 			Info:  pkg.Info,
-		}, suite)
-		if err != nil {
-			t.Fatalf("%s: %v", pkg.ImportPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		})
+	}
+	diags, err := analysis.RunProgram(targets, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", targets[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestAllocFlowCoversSteadyStatePath pins the dataflow tier's acceptance
+// bar: every function on the steady-state delivery path of a large-ring run
+// (event loop → dispatch/routing → FIFO arena → token handlers → stats
+// accounting → codec) must be reachable from the existing //ring:hotpath
+// roots through the call graph alone — no per-function annotations.
+func TestAllocFlowCoversSteadyStatePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	root := findModuleRoot(t)
+	pkgs, err := load.Load(root, false, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]analysis.Target, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		targets = append(targets, analysis.Target{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		})
+	}
+	prog, err := analysis.BuildProgram(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := prog.HotReachable()
+	for _, id := range []analysis.FuncID{
+		"ringlang/internal/ring.runLoopFrom",
+		"ringlang/internal/ring.routeSend",
+		"ringlang/internal/ring.(fifoQueue).push",
+		"ringlang/internal/ring.(fifoQueue).pop",
+		"ringlang/internal/ring.(Stats).record",
+		"ringlang/internal/ring.(roundRobinScheduler).Push",
+		"ringlang/internal/ring.(roundRobinScheduler).Next",
+		"ringlang/internal/ring.(adversarialScheduler).Push",
+		"ringlang/internal/ring.(adversarialScheduler).Next",
+		"ringlang/internal/core.(tokenPassNode).Receive",
+		"ringlang/internal/core.(lineNode).Receive",
+		"ringlang/internal/bits.(Writer).WriteUint",
+		"ringlang/internal/bits.(Reader).ReadUint",
+	} {
+		if reach[id] == nil {
+			t.Errorf("steady-state function %s is not reachable from any //ring:hotpath root", id)
 		}
 	}
 }

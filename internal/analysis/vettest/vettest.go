@@ -3,8 +3,13 @@
 // golang.org/x/tools/go/analysis/analysistest, rebuilt on the standard
 // library so the dependency-free module can test its own analyzers.
 //
-// Fixtures live under testdata/src/<dir>; every .go file in the directory is
-// one package. A line expecting diagnostics carries a trailing comment:
+// A fixture rooted at testdata/src/<dir> is a tree of packages: the root
+// directory and every subdirectory containing .go files are each one
+// package, importable from sibling fixture packages as "fixture/<dir>" and
+// "fixture/<dir>/<sub>". The whole tree is analyzed as one program
+// (analysis.RunProgram), so interprocedural analyzers see cross-package
+// edges exactly as cmd/ringvet does. A line expecting diagnostics carries a
+// trailing comment:
 //
 //	for k := range m { // want "iterates over map"
 //
@@ -24,6 +29,7 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -35,25 +41,29 @@ import (
 	"ringlang/internal/analysis"
 )
 
-// Run analyzes the fixture package at testdata/src/<dir> (relative to the
+// Run analyzes the fixture tree at testdata/src/<dir> (relative to the
 // test's working directory) with the given analyzers and reports any
 // mismatch against the // want comments as test failures.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	pkgDir := filepath.Join("testdata", "src", dir)
-	target, err := loadFixture(pkgDir)
+	root := filepath.Join("testdata", "src", dir)
+	targets, err := loadFixtureTree(root, "fixture/"+filepath.ToSlash(dir))
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgDir, err)
+		t.Fatalf("loading fixture %s: %v", root, err)
 	}
-	diags, err := analysis.RunAnalyzers(target, analyzers)
+	diags, err := analysis.RunProgram(targets, analyzers)
 	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", pkgDir, err)
+		t.Fatalf("running analyzers on %s: %v", root, err)
 	}
 
-	wants := collectWants(t, target)
+	fset := targets[0].Fset // shared across every target of one load
+	wants := make(map[lineRef][]string)
+	for _, target := range targets {
+		collectWants(t, fset, target, wants)
+	}
 	got := make(map[lineRef][]string)
 	for _, d := range diags {
-		pos := target.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		key := lineRef{file: pos.Filename, line: pos.Line}
 		got[key] = append(got[key], d.Message)
 	}
@@ -83,10 +93,9 @@ type lineRef struct {
 
 var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-// collectWants scans fixture comments for // want "..." expectations.
-func collectWants(t *testing.T, target analysis.Target) map[lineRef][]string {
+// collectWants scans one target's comments for // want "..." expectations.
+func collectWants(t *testing.T, fset *token.FileSet, target analysis.Target, wants map[lineRef][]string) {
 	t.Helper()
-	wants := make(map[lineRef][]string)
 	for _, f := range target.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -94,7 +103,7 @@ func collectWants(t *testing.T, target analysis.Target) map[lineRef][]string {
 				if !ok {
 					continue
 				}
-				pos := target.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				matches := wantRE.FindAllStringSubmatch(rest, -1)
 				if len(matches) == 0 {
 					t.Fatalf(`%s: malformed want comment %q (want // want "substring"...)`, pos, c.Text)
@@ -106,7 +115,6 @@ func collectWants(t *testing.T, target analysis.Target) map[lineRef][]string {
 			}
 		}
 	}
-	return wants
 }
 
 func anyContains(msgs []string, sub string) bool {
@@ -127,64 +135,185 @@ func anyContained(subs []string, msg string) bool {
 	return false
 }
 
-// loadFixture parses and type-checks one fixture directory as a single
-// package. Fixture imports are restricted to the standard library; their
-// export data is resolved through one `go list -export` call.
-func loadFixture(dir string) (analysis.Target, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return analysis.Target{}, err
-	}
+// fixturePkg is one parsed-but-not-yet-checked fixture package.
+type fixturePkg struct {
+	importPath string
+	files      []*ast.File
+	fixture    []string        // imports of sibling fixture packages
+	std        map[string]bool // standard-library imports
+}
+
+// loadFixtureTree parses and type-checks every package under root as one
+// program. Fixture packages may import each other by their "fixture/..."
+// paths (checked in dependency order) and the standard library (resolved
+// through one `go list -export` call); anything else is an error.
+func loadFixtureTree(root, rootImport string) ([]analysis.Target, error) {
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+	pkgs := make(map[string]*fixturePkg)
+	stdImports := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
 		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return analysis.Target{}, err
+		pkg, perr := parseFixtureDir(fset, path, fixtureImportPath(root, rootImport, path))
+		if perr != nil {
+			return perr
 		}
-		files = append(files, f)
+		if pkg == nil {
+			return nil // no .go files here
+		}
+		pkgs[pkg.importPath] = pkg
+		for imp := range pkg.std {
+			stdImports[imp] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if len(files) == 0 {
-		return analysis.Target{}, fmt.Errorf("no fixture files in %s", dir)
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no fixture files under %s", root)
 	}
 
-	imports := make(map[string]bool)
-	for _, f := range files {
-		for _, imp := range f.Imports {
-			imports[strings.Trim(imp.Path.Value, `"`)] = true
-		}
-	}
-	exports, err := stdlibExports(imports)
+	order, err := topoSort(pkgs)
 	if err != nil {
-		return analysis.Target{}, err
+		return nil, err
+	}
+	exports, err := stdlibExports(stdImports)
+	if err != nil {
+		return nil, err
 	}
 	lookup := func(path string) (io.ReadCloser, error) {
 		exp, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("fixture imports %q: only standard-library imports are supported", path)
+			return nil, fmt.Errorf("fixture imports %q: only standard-library and fixture/... imports are supported", path)
 		}
 		return os.Open(exp)
 	}
 
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-		Scopes:     make(map[ast.Node]*types.Scope),
-		Instances:  make(map[*ast.Ident]types.Instance),
+	checked := make(map[string]*types.Package)
+	imp := &fixtureImporter{std: importer.ForCompiler(fset, "gc", lookup), fixture: checked}
+	var targets []analysis.Target
+	for _, pkg := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg.importPath, fset, pkg.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking fixture %s: %w", pkg.importPath, err)
+		}
+		checked[pkg.importPath] = tpkg
+		targets = append(targets, analysis.Target{Fset: fset, Files: pkg.files, Pkg: tpkg, Info: info})
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
-	tpkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	return targets, nil
+}
+
+// fixtureImporter resolves fixture/... imports to the already-checked
+// sibling packages and everything else through export data.
+type fixtureImporter struct {
+	std     types.Importer
+	fixture map[string]*types.Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.fixture[path]; ok {
+		return p, nil
+	}
+	return im.std.Import(path)
+}
+
+// parseFixtureDir parses the .go files directly inside dir as one package;
+// nil when the directory holds none.
+func parseFixtureDir(fset *token.FileSet, dir, importPath string) (*fixturePkg, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return analysis.Target{}, fmt.Errorf("type-checking fixture: %w", err)
+		return nil, err
 	}
-	return analysis.Target{Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+	pkg := &fixturePkg{importPath: importPath, std: make(map[string]bool)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.files = append(pkg.files, f)
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if strings.HasPrefix(path, "fixture/") {
+				pkg.fixture = append(pkg.fixture, path)
+			} else {
+				pkg.std[path] = true
+			}
+		}
+	}
+	if len(pkg.files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// fixtureImportPath maps a fixture directory to its import path under the
+// tree's root import.
+func fixtureImportPath(root, rootImport, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return rootImport
+	}
+	return rootImport + "/" + filepath.ToSlash(rel)
+}
+
+// topoSort orders fixture packages so every package follows its fixture
+// imports. Unknown imports are left to the type checker to reject; cycles
+// are an error here.
+func topoSort(pkgs map[string]*fixturePkg) ([]*fixturePkg, error) {
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int)
+	var order []*fixturePkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		pkg, ok := pkgs[path]
+		if !ok {
+			return nil
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("fixture import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, dep := range pkg.fixture {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }
 
 // stdlibExports locates build-cache export data for the fixture's imports

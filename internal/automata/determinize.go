@@ -9,6 +9,8 @@ import (
 // Determinize converts an NFA into an equivalent DFA by the subset
 // construction. The resulting DFA is complete over the NFA's alphabet (a
 // dead state is added if necessary).
+//
+//ring:deterministic
 func Determinize(n *NFA) *DFA {
 	type subset struct {
 		key    string
@@ -72,6 +74,8 @@ func Determinize(n *NFA) *DFA {
 // refinement (Hopcroft-style splitting on sorted signatures, which is
 // adequate for the automaton sizes in this repository). Unreachable states
 // are removed first.
+//
+//ring:deterministic
 func Minimize(d *DFA) *DFA {
 	reach := d.Reachable()
 	// Remap reachable states to a dense range.
@@ -159,6 +163,8 @@ func allSame(xs []int) bool {
 // Equivalent reports whether two DFAs over the same alphabet accept the same
 // language, by checking that no reachable pair of the product automaton
 // disagrees on acceptance.
+//
+//ring:deterministic
 func Equivalent(a, b *DFA) bool {
 	if !sameAlphabet(a.Alphabet, b.Alphabet) {
 		return false

@@ -86,6 +86,8 @@ func IsEmptyLanguage(d *DFA) bool {
 // EnumerateAccepted returns every accepted word of length at most maxLen, in
 // shortlex order. It is a brute-force helper used by tests to cross-check
 // automata against reference language predicates.
+//
+//ring:deterministic
 func EnumerateAccepted(d *DFA, maxLen int) [][]rune {
 	var out [][]rune
 	var cur []rune

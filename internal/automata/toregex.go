@@ -17,6 +17,8 @@ import (
 // description of a regular language — DFA, NFA or regex — the repository can
 // produce the minimal automaton and hence the one-pass algorithm with the
 // smallest ⌈log|Q|⌉ constant.
+//
+//ring:deterministic
 func ToRegex(d *DFA) (string, error) {
 	if err := d.Validate(); err != nil {
 		return "", err
@@ -65,6 +67,7 @@ func ToRegex(d *DFA) (string, error) {
 	for _, k := range order {
 		loop, hasLoop := edges[edgeKey{k, k}]
 		var preds, succs []int
+		//ring:ordered -- preds and succs are sorted below before any edge is built
 		for key := range edges {
 			if key.to == k && key.from != k && remaining[key.from] {
 				preds = append(preds, key.from)
@@ -85,6 +88,7 @@ func ToRegex(d *DFA) (string, error) {
 			}
 		}
 		// Remove every edge touching k.
+		//ring:ordered -- deletion by predicate; the surviving map does not depend on visit order
 		for key := range edges {
 			if key.from == k || key.to == k {
 				delete(edges, key)

@@ -1,0 +1,38 @@
+package bits
+
+import "testing"
+
+// TestCodecHotPathAllocs is the guard= target of the //ring:hotpath
+// directives on Writer.WriteBool/WriteUint and Reader.ReadBool/ReadUint:
+// once a reused Writer's backing has grown past warm-up, a full
+// encode/decode round trip performs zero allocations. Every message codec
+// in the module funnels through these four functions, so this pins the
+// per-message floor the engine alloc guards build on.
+func TestCodecHotPathAllocs(t *testing.T) {
+	var w Writer
+	var r Reader
+	round := func() {
+		w.Reset()
+		w.WriteBool(true)
+		w.WriteUint(0xDEAD, 16)
+		w.WriteGammaValue(41)
+		w.WriteDeltaValue(1023)
+		r.Reset(w.BitString())
+		if _, err := r.ReadBool(); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := r.ReadUint(16); err != nil || v != 0xDEAD {
+			t.Fatalf("ReadUint = %#x, %v", v, err)
+		}
+		if v, err := r.ReadGammaValue(); err != nil || v != 41 {
+			t.Fatalf("ReadGammaValue = %d, %v", v, err)
+		}
+		if v, err := r.ReadDeltaValue(); err != nil || v != 1023 {
+			t.Fatalf("ReadDeltaValue = %d, %v", v, err)
+		}
+	}
+	round() // warm-up: grow the writer's backing once
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Fatalf("warm codec round trip allocates %.1f times per run; the hot path must be allocation-free", allocs)
+	}
+}

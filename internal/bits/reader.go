@@ -37,6 +37,8 @@ func (r *Reader) AtEnd() bool {
 }
 
 // ReadBool consumes a single bit.
+//
+//ring:hotpath guard=TestCodecHotPathAllocs
 func (r *Reader) ReadBool() (bool, error) {
 	if r.pos >= r.s.n {
 		return false, fmt.Errorf("%w: reading bool at %d", ErrTruncated, r.pos)
@@ -52,6 +54,8 @@ func (r *Reader) ReadBool() (bool, error) {
 // ReadUint consumes `width` bits and returns them as an unsigned integer
 // (most significant bit first). Like WriteUint it moves a byte at a time:
 // every message decode funnels through here.
+//
+//ring:hotpath guard=TestCodecHotPathAllocs
 func (r *Reader) ReadUint(width int) (uint64, error) {
 	if width <= 0 {
 		return 0, nil

@@ -15,10 +15,12 @@ func (w *Writer) Len() int {
 }
 
 // WriteBool appends a single bit.
+//
+//ring:hotpath guard=TestCodecHotPathAllocs
 func (w *Writer) WriteBool(b bool) {
 	byteIdx := w.n / 8
 	if byteIdx == len(w.data) {
-		w.data = append(w.data, 0)
+		w.data = append(w.data, 0) //ring:prealloc -- the writer's backing is reused scratch; growth is warm-up only
 	}
 	if b {
 		bitIdx := uint(7 - w.n%8)
@@ -33,6 +35,8 @@ func (w *Writer) WriteBool(b bool) {
 // The write proceeds a byte at a time regardless of the writer's current bit
 // alignment: every message codec funnels through here (fixed-width fields and
 // the binary tails of the Elias codes), so this is the encode hot path.
+//
+//ring:hotpath guard=TestCodecHotPathAllocs
 func (w *Writer) WriteUint(v uint64, width int) {
 	if width <= 0 {
 		return
@@ -45,7 +49,7 @@ func (w *Writer) WriteUint(v uint64, width int) {
 	for width > 0 {
 		off := w.n % 8
 		if off == 0 {
-			w.data = append(w.data, 0)
+			w.data = append(w.data, 0) //ring:prealloc -- the writer's backing is reused scratch; growth is warm-up only
 		}
 		space := 8 - off
 		k := width

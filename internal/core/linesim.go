@@ -39,6 +39,8 @@ func NewLineSimulation(inner Recognizer) (*LineSimulation, error) {
 }
 
 // Name implements Recognizer.
+//
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (l *LineSimulation) Name() string { return "line-sim(" + l.inner.Name() + ")" }
 
 // Language implements Recognizer.
@@ -110,11 +112,11 @@ func (n *lineNode) translateSends(sends []ring.Send) []ring.Send {
 	for _, s := range sends {
 		switch {
 		case n.isLeader && s.Dir == ring.Backward:
-			out = append(out, ring.SendForward(frame(true, s.Payload)))
+			out = append(out, ring.SendForward(frame(true, s.Payload))) //ring:prealloc -- out is presized by the make above to len(sends)
 		case n.isEnd && s.Dir == ring.Forward:
-			out = append(out, ring.SendBackward(frame(true, s.Payload)))
+			out = append(out, ring.SendBackward(frame(true, s.Payload))) //ring:prealloc -- out is presized by the make above to len(sends)
 		default:
-			out = append(out, ring.Send{Dir: s.Dir, Payload: frame(false, s.Payload)})
+			out = append(out, ring.Send{Dir: s.Dir, Payload: frame(false, s.Payload)}) //ring:prealloc -- out is presized by the make above to len(sends)
 		}
 	}
 	return out

@@ -89,6 +89,8 @@ func (o RunOptions) engine() (ring.Engine, error) {
 
 // Run executes the recognizer on a ring labelled with word and returns the
 // engine result (verdict plus exact bit accounting).
+//
+//ring:coldpath -- per-run entry point; the delivery loops below carry their own //ring:hotpath roots
 func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) {
 	if opts.Ctx != nil && opts.Ctx.Err() != nil {
 		return nil, fmt.Errorf("core: %w: %w", ring.ErrCanceled, opts.Ctx.Err())

@@ -72,6 +72,8 @@ type electionNode interface {
 // Run executes the protocol on a ring in which processor i holds the
 // identifier ids[i]. Every processor initiates; the run terminates by
 // quiescence after the winner's announcement has circulated.
+//
+//ring:deterministic
 func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
 	if len(ids) == 0 {
 		return nil, ring.ErrNoProcessors

@@ -54,6 +54,8 @@ func NewLg(growth GrowthFunc) *Lg {
 }
 
 // Name implements Language.
+//
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (l *Lg) Name() string { return fmt.Sprintf("L_g[%s]", l.growth.Name) }
 
 // Alphabet implements Language.

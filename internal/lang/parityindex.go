@@ -38,6 +38,8 @@ func NewParityIndex(k int) (*ParityIndex, error) {
 }
 
 // Name implements Language.
+//
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (l *ParityIndex) Name() string { return fmt.Sprintf("parity-index[k=%d]", l.k) }
 
 // Alphabet implements Language.

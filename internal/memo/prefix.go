@@ -181,6 +181,8 @@ walk:
 // existing value at that exact prefix, then evicts least-recently-used
 // entries (across all namespaces) until the store fits its bytes budget.
 // Depths outside [1, len(seq)] are ignored.
+//
+//ring:coldpath -- memoization insert runs on the cold capture path, at most once per distinct prefix
 func (p *PrefixStore[NS, S, V]) Insert(ns NS, seq []S, depth int, v V) {
 	if depth < 1 || depth > len(seq) {
 		return

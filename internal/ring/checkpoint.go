@@ -123,6 +123,8 @@ type nodeStateRun struct {
 // checkpointed prefix under the same prefix-stable schedule.
 //
 // A Checkpoint is immutable after capture and safe for concurrent resumes.
+//
+//ring:snapshot
 type Checkpoint struct {
 	schedule   string
 	mode       Mode
@@ -205,6 +207,8 @@ type CheckpointEngine interface {
 // captureCheckpoint freezes the execution between two deliveries: stats,
 // node states, and the scheduler's pending messages (drained, cloned, and
 // re-pushed so the live run continues unchanged).
+//
+//ring:coldpath -- runs once per capture interval (CheckpointRun.Every deliveries), never per message
 func captureCheckpoint(sched checkpointableScheduler, lp *loopState, nodes []Node, delivered int) (*Checkpoint, error) {
 	n := len(nodes)
 	cp := &Checkpoint{

@@ -89,6 +89,8 @@ func (st *concState) recordEvent(ev Event) {
 }
 
 // decide implements the leader's Accept/Reject under the state lock.
+//
+//ring:coldpath -- the verdict transition runs at most once per run (ErrAlreadyDecided), not per message
 func (st *concState) decide(proc int, v Verdict) error {
 	st.mu.Lock()
 	if st.verdict != VerdictNone {
@@ -123,6 +125,8 @@ func (st *concState) stopped() bool {
 }
 
 // Run implements Engine.
+//
+//ring:coldpath -- per-run orchestration (goroutines, channels); the lock-based reference engine is pinned by race tests, not the alloc floor
 func (e *ConcurrentEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	cfg, err := cfg.normalize(len(nodes))
 	if err != nil {

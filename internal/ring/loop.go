@@ -144,6 +144,7 @@ func runLoopFrom(cfg Config, nodes []Node, sched Scheduler, st *RunState, run Ch
 				lp.trace = append(lp.trace, Event{Seq: lp.seq, Kind: EventStart, Processor: i})
 				lp.seq++
 			}
+			//ringvet:ignore allocflow -- Start runs once per node at run begin, before the delivery loop
 			sends, err := nodes[i].Start(&contexts[i])
 			if err != nil {
 				return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)
@@ -256,11 +257,15 @@ var _ StatefulEngine = (*ScheduledEngine)(nil)
 func (e *ScheduledEngine) Name() string { return e.name }
 
 // Run implements Engine.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *ScheduledEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, e.factory(), nil)
 }
 
 // RunWith implements StatefulEngine.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *ScheduledEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, st.scheduler(e, e.factory), st)
 }
@@ -270,6 +275,8 @@ var _ CheckpointEngine = (*ScheduledEngine)(nil)
 // RunCheckpointed implements CheckpointEngine. It fails with
 // ErrNotPrefixStable when the engine's scheduler cannot checkpoint (capture
 // or resume under a schedule that is not prefix-stable).
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *ScheduledEngine) RunCheckpointed(st *RunState, cfg Config, nodes []Node, run CheckpointRun) (*Result, error) {
 	if st == nil {
 		st = &RunState{}

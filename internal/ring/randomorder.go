@@ -25,15 +25,21 @@ func NewRandomOrderEngine(seed int64) *RandomOrderEngine {
 }
 
 // Name implements Engine.
+//
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (e *RandomOrderEngine) Name() string { return fmt.Sprintf("random-order(seed=%d)", e.seed) }
 
 // Run implements Engine.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *RandomOrderEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, &randomScheduler{seed: e.seed}, nil)
 }
 
 // RunWith implements StatefulEngine. The scheduler re-seeds on every Reset,
 // so a reused scheduler produces the identical delivery order each run.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *RandomOrderEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, st.scheduler(e, func() Scheduler { return NewRandomScheduler(e.seed) }), st)
 }

@@ -70,6 +70,7 @@ type randomScheduler struct {
 // NewRandomScheduler returns a seeded random-order schedule.
 func NewRandomScheduler(seed int64) Scheduler { return &randomScheduler{seed: seed} }
 
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (s *randomScheduler) Name() string { return fmt.Sprintf("random(seed=%d)", s.seed) }
 
 func (s *randomScheduler) Reset(links int) {
@@ -184,6 +185,7 @@ func NewAdversarialScheduler(bound int) Scheduler {
 	return &adversarialScheduler{bound: bound}
 }
 
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (s *adversarialScheduler) Name() string {
 	return fmt.Sprintf("adversarial(bound=%d)", s.bound)
 }
@@ -198,8 +200,8 @@ func (s *adversarialScheduler) Reset(links int) {
 
 func (s *adversarialScheduler) Push(link int, d Delivery) {
 	if s.links.push(link, d) {
-		s.newest = append(s.newest, link)
-		s.oldest = append(s.oldest, link)
+		s.newest = append(s.newest, link) //ring:prealloc -- capacity survives Reset; growth is first-run only
+		s.oldest = append(s.oldest, link) //ring:prealloc -- capacity survives Reset; growth is first-run only
 	}
 }
 
@@ -217,14 +219,14 @@ func (s *adversarialScheduler) Next() (Delivery, bool) {
 		link = s.popOldest()
 		d := s.links.pop(link)
 		if !s.links.empty(link) {
-			s.oldest = append(s.oldest, link)
+			s.oldest = append(s.oldest, link) //ring:prealloc -- re-pushes a hint just popped; capacity survives Reset, growth is first-run only
 		}
 		return d, true
 	}
 	link = s.popNewest()
 	d := s.links.pop(link)
 	if !s.links.empty(link) {
-		s.newest = append(s.newest, link)
+		s.newest = append(s.newest, link) //ring:prealloc -- re-pushes a hint just popped; capacity survives Reset, growth is first-run only
 	}
 	return d, true
 }
@@ -329,6 +331,8 @@ func NewSchedulerByName(name string, seed int64) (Scheduler, error) {
 // -engine/-schedule flags and the facade's Options.Schedule. The names with
 // dedicated engine types are special-cased; everything else is resolved
 // through the shared scheduler table.
+//
+//ring:coldpath -- engine construction, once per run or batch worker
 func NewEngineByName(name string, seed int64) (Engine, error) {
 	switch CanonicalScheduleName(name) {
 	case "sequential":

@@ -17,11 +17,15 @@ func NewSequentialEngine() *SequentialEngine {
 func (e *SequentialEngine) Name() string { return "sequential" }
 
 // Run implements Engine.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *SequentialEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, &fifoScheduler{}, nil)
 }
 
 // RunWith implements StatefulEngine.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *SequentialEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	return runLoop(cfg, nodes, st.scheduler(e, NewFIFOScheduler), st)
 }
@@ -30,6 +34,8 @@ var _ CheckpointEngine = (*SequentialEngine)(nil)
 
 // RunCheckpointed implements CheckpointEngine: global FIFO is
 // prefix-stable, so the sequential engine both captures and resumes.
+//
+//ring:coldpath -- per-run entry point; the delivery loop below carries its own //ring:hotpath roots
 func (e *SequentialEngine) RunCheckpointed(st *RunState, cfg Config, nodes []Node, run CheckpointRun) (*Result, error) {
 	if st == nil {
 		st = &RunState{}

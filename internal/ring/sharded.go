@@ -65,6 +65,8 @@ func NewShardedEngineWorkers(workers int) *ShardedEngine {
 func (e *ShardedEngine) Name() string { return "sharded" }
 
 // Run implements Engine.
+//
+//ring:coldpath -- per-run entry point; the worker loops below carry their own //ring:hotpath roots
 func (e *ShardedEngine) Run(cfg Config, nodes []Node) (*Result, error) {
 	return e.RunWith(NewRunState(), cfg, nodes)
 }
@@ -91,6 +93,8 @@ func (e *ShardedEngine) effectiveWorkers(n int) int {
 }
 
 // RunWith implements StatefulEngine.
+//
+//ring:coldpath -- per-run entry point; the worker loops below carry their own //ring:hotpath roots
 func (e *ShardedEngine) RunWith(st *RunState, cfg Config, nodes []Node) (*Result, error) {
 	if st == nil {
 		st = NewRunState()
@@ -136,21 +140,23 @@ type spscSlot struct {
 // producer owns tail, the consumer owns head.
 type spscRing struct {
 	slots []spscSlot
-	_     [64]byte // keep head and tail on separate cache lines
-	head  atomic.Int64
+	_     [64]byte     // keep head and tail on separate cache lines
+	head  atomic.Int64 //ring:owner consumer
 	_     [64]byte
-	tail  atomic.Int64
+	tail  atomic.Int64 //ring:owner producer
 }
 
 func (q *spscRing) init() {
 	if q.slots == nil {
 		q.slots = make([]spscSlot, boundarySlots)
 	}
-	q.head.Store(0)
-	q.tail.Store(0)
+	q.head.Store(0) //ringvet:ignore shardsafe -- init runs before the worker goroutines exist
+	q.tail.Store(0) //ringvet:ignore shardsafe -- init runs before the worker goroutines exist
 }
 
 // freeSlots reports how many pushes currently fit (producer side).
+//
+//ring:producer
 func (q *spscRing) freeSlots() int {
 	return len(q.slots) - int(q.tail.Load()-q.head.Load())
 }
@@ -159,6 +165,7 @@ func (q *spscRing) freeSlots() int {
 // must have checked freeSlots.
 //
 //ring:hotpath guard=TestShardedSteadyStateAllocFloor
+//ring:producer
 func (q *spscRing) push(to int, from Direction, payload bits.String) {
 	t := q.tail.Load()
 	s := &q.slots[t&int64(len(q.slots)-1)]
@@ -178,6 +185,7 @@ func (q *spscRing) push(to int, from Direction, payload bits.String) {
 // (which copies the payload into its arena) and returns how many it moved.
 //
 //ring:hotpath guard=TestShardedSteadyStateAllocFloor
+//ring:consumer
 func (q *spscRing) drainInto(local *fifoQueue) int {
 	h := q.head.Load()
 	t := q.tail.Load()
@@ -196,13 +204,14 @@ func (q *spscRing) drainInto(local *fifoQueue) int {
 // ring plus the overflow queue used when the ring is momentarily full.
 type shardBoundary struct {
 	ring  spscRing
-	spill fifoQueue
+	spill fifoQueue //ring:owner producer
 }
 
 // send hands one boundary message over, preserving per-link FIFO: the spill
 // always drains before a younger message is pushed.
 //
 //ring:hotpath guard=TestShardedSteadyStateAllocFloor
+//ring:producer
 func (b *shardBoundary) send(to int, from Direction, payload bits.String) {
 	b.flushSpill()
 	if b.spill.len() == 0 && b.ring.freeSlots() > 0 {
@@ -215,6 +224,7 @@ func (b *shardBoundary) send(to int, from Direction, payload bits.String) {
 // flushSpill moves as much of the overflow queue into the ring as fits.
 //
 //ring:hotpath guard=TestShardedSteadyStateAllocFloor
+//ring:producer
 func (b *shardBoundary) flushSpill() {
 	for b.spill.len() > 0 && b.ring.freeSlots() > 0 {
 		d := b.spill.pop()
@@ -338,9 +348,9 @@ func (r *shardRun) reset(cfg Config, nodes []Node, stats *Stats, wn int) {
 		wk.lo, wk.hi = segmentBounds(w, wn, r.n)
 		wk.local.reset()
 		wk.toNext.ring.init()
-		wk.toNext.spill.reset()
+		wk.toNext.spill.reset() //ringvet:ignore shardsafe -- reset runs before the worker goroutines launch
 		wk.toPrev.ring.init()
-		wk.toPrev.spill.reset()
+		wk.toPrev.spill.reset() //ringvet:ignore shardsafe -- reset runs before the worker goroutines launch
 		wk.messages, wk.bitsTotal, wk.maxBits = 0, 0, 0
 		wk.delivered = 0
 		wk.err = nil
@@ -508,6 +518,7 @@ func (r *shardRun) run(e *ShardedEngine, st *RunState, cfg Config, nodes []Node)
 		if cfg.Initiators == LeaderOnly && i != LeaderIndex {
 			continue
 		}
+		//ringvet:ignore allocflow -- Start runs once per node at run begin, before the delivery loop
 		sends, err := nodes[i].Start(&contexts[i])
 		if err != nil {
 			return nil, fmt.Errorf("ring: start of processor %d: %w", i, err)

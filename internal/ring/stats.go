@@ -186,6 +186,8 @@ func (s *Stats) PerLink() map[[2]int]*LinkStats {
 
 // Clone returns an independent deep copy. Batch executors that reuse one
 // Stats across runs snapshot each run's accounting with it.
+//
+//ring:coldpath -- result snapshot, taken once per completed run
 func (s *Stats) Clone() *Stats {
 	c := *s
 	c.view = nil

@@ -52,6 +52,8 @@ func NewRingRecognizer(machine *Machine, language lang.Language) (*RingRecognize
 }
 
 // Name implements core.Recognizer.
+//
+//ring:coldpath -- label rendering; called at setup and in error reports, never per message
 func (t *RingRecognizer) Name() string { return "tm-ring(" + t.machine.Name + ")" }
 
 // Language implements core.Recognizer.

@@ -32,6 +32,8 @@ type Analysis struct {
 // a recorded trace. inputs[i] is a printable encoding of processor i's
 // initial value (its letter, its identifier, ...); it must have one entry per
 // processor that appeared in the trace's ring.
+//
+//ring:deterministic
 func ComputeInformationStates(tr ring.Trace, inputs []string) (*Analysis, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("trace: inputs must describe every processor")
@@ -71,6 +73,7 @@ func ComputeInformationStates(tr ring.Trace, inputs []string) (*Analysis, error)
 		counts[key]++
 	}
 	analysis.Distinct = len(counts)
+	//ring:ordered -- max fold; the result does not depend on visit order
 	for _, c := range counts {
 		if c > analysis.MaxMultiplicity {
 			analysis.MaxMultiplicity = c
@@ -81,12 +84,15 @@ func ComputeInformationStates(tr ring.Trace, inputs []string) (*Analysis, error)
 
 // Multiplicities returns, for each distinct information state, how many
 // processors ended the execution in it, sorted descending.
+//
+//ring:deterministic
 func (a *Analysis) Multiplicities() []int {
 	counts := make(map[string]int)
 	for _, st := range a.States {
 		counts[st.Key]++
 	}
 	out := make([]int, 0, len(counts))
+	//ring:ordered -- collected into a slice and sorted descending below
 	for _, c := range counts {
 		out = append(out, c)
 	}

@@ -28,6 +28,8 @@ type Report struct {
 
 // BuildReport assembles a Report from an engine result and the per-processor
 // inputs. The result must have been produced with RecordTrace set.
+//
+//ring:deterministic
 func BuildReport(res *ring.Result, inputs []string) (*Report, error) {
 	if err := RequireTrace(res); err != nil {
 		return nil, err
@@ -51,7 +53,10 @@ func BuildReport(res *ring.Result, inputs []string) (*Report, error) {
 	}, nil
 }
 
-// Render writes the report in a compact plain-text form.
+// Render writes the report in a compact plain-text form. Goldens diff this
+// output byte for byte, so it must be a pure function of the report.
+//
+//ring:deterministic
 func (r *Report) Render(w io.Writer) error {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "verdict            : %s\n", r.Verdict)

@@ -23,6 +23,8 @@ type TokenReport struct {
 
 // CheckToken scans the trace's serialization and tracks how many messages are
 // in flight (sent but not yet received).
+//
+//ring:deterministic
 func CheckToken(tr ring.Trace) TokenReport {
 	report := TokenReport{IsToken: true}
 	inFlight := 0
@@ -50,6 +52,8 @@ func CheckToken(tr ring.Trace) TokenReport {
 // leader-initiated algorithm: each pass starts with a message sent by the
 // leader (paper Section 2), so the number of leader sends is the number of
 // passes.
+//
+//ring:deterministic
 func PassCount(tr ring.Trace) int {
 	passes := 0
 	for _, ev := range tr {
@@ -63,6 +67,8 @@ func PassCount(tr ring.Trace) int {
 // MessageAlphabetSize counts the number of distinct message payloads used in
 // the execution. Corollary 3 of the paper says this stays bounded for any
 // O(n)-bit algorithm; for non-regular recognizers it grows with n.
+//
+//ring:deterministic
 func MessageAlphabetSize(tr ring.Trace) int {
 	seen := make(map[string]bool)
 	for _, ev := range tr {
