@@ -87,6 +87,12 @@ func (fs *freshState) setLhs(lhs ast.Expr, fresh bool) {
 		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
 			if obj := fs.objOf(base); obj != nil {
 				fs.fields[fieldRef{obj, l.Sel.Name}] = fresh
+				// A stale store contaminates the whole base: tmp.f = e.buf
+				// means tmp (and anything read through it) can now reach run
+				// state, so the base's own freshness must not survive.
+				if !fresh {
+					fs.vars[obj] = false
+				}
 			}
 		}
 	}
@@ -142,8 +148,14 @@ func (fs *freshState) freshExpr(e ast.Expr) bool {
 		return false
 	case *ast.SelectorExpr:
 		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
-			if obj := fs.objOf(base); obj != nil && (fs.vars[obj] || fs.fields[fieldRef{obj, e.Sel.Name}]) {
-				return true
+			if obj := fs.objOf(base); obj != nil {
+				// An explicit field fact wins either way: a recorded stale
+				// store (tmp.f = e.buf) must not be blessed by the base
+				// having been fresh at some earlier point.
+				if v, known := fs.fields[fieldRef{obj, e.Sel.Name}]; known {
+					return v
+				}
+				return fs.vars[obj]
 			}
 		}
 		return false

@@ -129,8 +129,13 @@ func BuildProgram(targets []Target) (*Program, error) {
 			if fn := calleeFunc(t.Info, call); fn != nil {
 				// Static resolution — but a method reached through an
 				// interface-typed receiver is still dynamic: resolve it
-				// against the concrete method index below.
-				if !isInterfaceMethodCall(t.Info, call) {
+				// against the concrete method index below. That covers both
+				// calls on interface values and methods promoted from a
+				// struct-embedded interface field (s.M() where M comes from
+				// an embedded interface): the selection's receiver is the
+				// struct there, but the resolved *types.Func is still the
+				// interface's method, whose ID names no declared body.
+				if !isInterfaceMethodCall(t.Info, call) && !isInterfaceMethod(fn) {
 					id := funcIDOf(fn)
 					if _, inProg := prog.Funcs[id]; inProg {
 						prog.Edges[pf.ID] = append(prog.Edges[pf.ID], CallEdge{Callee: id, Pos: call.Pos()})
@@ -146,6 +151,14 @@ func BuildProgram(targets []Target) (*Program, error) {
 		})
 	}
 	return prog, nil
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type —
+// a method with no body of its own, dispatched dynamically no matter how
+// the call site spells it.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type().Underlying())
 }
 
 // isInterfaceMethodCall reports whether call invokes a method through an

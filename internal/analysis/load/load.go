@@ -93,20 +93,32 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 		listed = append(listed, p)
 	}
 
-	// An in-package test variant ("p [p.test]") is a superset of its plain
-	// package; analyzing both would duplicate every finding in the shared
-	// files.
-	shadowed := make(map[string]bool)
-	for _, p := range listed {
-		if p.ForTest != "" && p.Name != "main" && strippedPath(p.ImportPath) == p.ForTest {
-			shadowed[p.ForTest] = true
+	// Exactly one variant per stripped import path is analyzed — two
+	// variants share sources, so analyzing both would duplicate every
+	// finding and break the baseline's multiset matching. The in-package
+	// test variant ("p [p.test]") supersets its plain package and wins; a
+	// dependency rebuilt inside another package's test build ("q [p.test]")
+	// loses to the plain "q" listing. External test packages ("p_test
+	// [p.test]") have their own stripped path and never collide.
+	chosen := make(map[string]int)
+	for i, p := range listed {
+		if !isTarget(p, module) {
+			continue
 		}
+		s := strippedPath(p.ImportPath)
+		if j, ok := chosen[s]; !ok || variantRank(p) > variantRank(listed[j]) {
+			chosen[s] = i
+		}
+	}
+	keep := make(map[int]bool, len(chosen))
+	for _, i := range chosen {
+		keep[i] = true
 	}
 
 	fset := token.NewFileSet()
 	var pkgs []*Package
-	for _, p := range listed {
-		if !isTarget(p, module) || shadowed[p.ImportPath] {
+	for i, p := range listed {
+		if !keep[i] {
 			continue
 		}
 		pkg, err := typeCheck(fset, p, exports)
@@ -116,6 +128,20 @@ func Load(dir string, tests bool, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// variantRank orders the listed variants of one package: the in-package
+// test variant carries the most sources, the plain package beats a
+// same-source rebuild bracketed under some other package's test build.
+func variantRank(p listedPkg) int {
+	switch {
+	case p.ForTest != "" && strippedPath(p.ImportPath) == p.ForTest:
+		return 2 // "p [p.test]": plain sources plus in-package _test.go files
+	case p.ForTest == "":
+		return 1 // plain package
+	default:
+		return 0 // "q [p.test]": same sources as plain q, rebuilt against p's test build
+	}
 }
 
 // isTarget decides whether a listed package gets analyzed: module packages

@@ -103,12 +103,22 @@ func checkSnapshotStores(pass *Pass, fd *ast.FuncDecl, snap map[*types.TypeName]
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				if i >= len(n.Rhs) {
-					break
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if sel, field := snapshotField(pass, lhs, snap); sel != nil {
+						checkStoredValue(pass, fs, sel, field, n.Rhs[i])
+					}
 				}
-				if sel, field := snapshotField(pass, lhs, snap); sel != nil {
-					checkStoredValue(pass, fs, sel, field, n.Rhs[i])
+			} else if len(n.Rhs) == 1 {
+				// Tuple assignment from one multi-valued RHS (cp.a, cp.b =
+				// f(); v, ok = m[k]; v, ok = x.(T)): every snapshot-field
+				// target shares the RHS's freshness, so each one is checked
+				// — not just the first. Map reads and type assertions are
+				// never fresh; calls defer to the callee's summary.
+				for _, lhs := range n.Lhs {
+					if sel, field := snapshotField(pass, lhs, snap); sel != nil {
+						checkStoredValue(pass, fs, sel, field, n.Rhs[0])
+					}
 				}
 			}
 			fs.observeAssign(n)

@@ -75,3 +75,31 @@ func setup() []int {
 	out = append(out, len(fmt.Sprint("sized")))
 	return out
 }
+
+// Emitter is embedded in sink below: emitAll's s.Emit(v) resolves to the
+// *interface's* method (the selection's receiver is the struct, so the
+// plain interface-value test misses it) and must still be treated as
+// dynamic dispatch, reaching every implementation in the program.
+type Emitter interface {
+	Emit(v int)
+}
+
+type sink struct {
+	Emitter
+}
+
+type sliceEmitter struct{ xs []int }
+
+func (s *sliceEmitter) Emit(v int) {
+	s.xs = append(s.xs, v) // want "append may grow" "emitAll"
+}
+
+// emitAll is hot; the only path to sliceEmitter.Emit is the method promoted
+// from sink's embedded interface field.
+//
+//ring:hotpath guard=TestEmitAllocs
+func emitAll(s sink, n int) {
+	for v := 0; v < n; v++ {
+		s.Emit(v)
+	}
+}

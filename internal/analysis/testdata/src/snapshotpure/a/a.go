@@ -55,3 +55,43 @@ func (e *engine) snapshot() Checkpoint {
 		count:   e.n,
 	}
 }
+
+// staging is a scratch value capture paths assemble into before committing
+// to the checkpoint; it carries no //ring:snapshot mark of its own.
+type staging struct {
+	pending []int32
+	notes   []byte
+}
+
+// captureStaged routes live state through a freshly allocated temporary: the
+// temporary's own freshness must not bless a field that was overwritten with
+// an alias (tmp.pending below still points into the engine), while a field
+// explicitly freshened stays storable even after the base is contaminated.
+func (e *engine) captureStaged(cp *Checkpoint) {
+	tmp := &staging{}
+	tmp.notes = append([]byte(nil), e.buf...)
+	tmp.pending = e.pending
+	cp.pending = tmp.pending                 // want "clone it"
+	cp.states = append(cp.states, tmp.notes) // freshened field: silent despite the stale sibling store
+}
+
+// aliasedPair hands out views into live state; neither result is fresh.
+func (e *engine) aliasedPair() ([]int32, map[string]int) {
+	return e.pending, e.labels
+}
+
+// freshPair clones both results; the returns-fresh summary proves it.
+func (e *engine) freshPair() ([]int32, map[string]int) {
+	m := make(map[string]int, len(e.labels))
+	for k, v := range e.labels {
+		m[k] = v
+	}
+	return append([]int32(nil), e.pending...), m
+}
+
+// captureTuple stores one multi-result call into two snapshot fields: every
+// target of the tuple is checked, not just the first.
+func (e *engine) captureTuple(cp, cp2 *Checkpoint) {
+	cp.pending, cp2.meta = e.aliasedPair() // want "clone it" "without rebuilding it"
+	cp.pending, cp2.meta = e.freshPair()   // both results proven fresh: silent
+}

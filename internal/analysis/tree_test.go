@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ringlang/internal/analysis"
@@ -21,6 +22,20 @@ func TestModuleIsRingvetClean(t *testing.T) {
 	pkgs, err := load.Load(root, true, "./...")
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Exactly one variant per package: analyzing both plain "q" and a
+	// bracketed rebuild "q [p.test]" would duplicate every finding in q and
+	// break the baseline's multiset matching.
+	seen := make(map[string]string)
+	for _, pkg := range pkgs {
+		stripped := pkg.ImportPath
+		if i := strings.IndexByte(stripped, ' '); i >= 0 {
+			stripped = stripped[:i]
+		}
+		if prev, dup := seen[stripped]; dup {
+			t.Errorf("load analyzed two variants of %s: %q and %q", stripped, prev, pkg.ImportPath)
+		}
+		seen[stripped] = pkg.ImportPath
 	}
 	// One Program over every package: the interprocedural analyzers
 	// (allocflow, snapshotpure) need the whole module in view — a hot root
