@@ -18,17 +18,20 @@ import (
 // context's own error), so serving layers classify failures with errors.Is
 // instead of string matching:
 //
-//	ErrUnknownAlgorithm — the algorithm name is not in AlgorithmNames
-//	ErrUnknownLanguage  — the language name/argument resolves to nothing
-//	ErrUnknownSchedule  — the schedule name is not in ScheduleNames
-//	ErrCanceled         — the context was canceled before or during a run
-//	ErrClosed           — the Client was Closed before the call
+//	ErrUnknownAlgorithm     — the algorithm name is not in AlgorithmNames
+//	ErrUnknownLanguage      — the language name/argument resolves to nothing
+//	ErrUnknownSchedule      — the schedule name is not in ScheduleNames
+//	ErrCanceled             — the context was canceled before or during a run
+//	ErrClosed               — the Client was Closed before the call
+//	ErrDeliveryNotTolerated — the schedule's delivery guarantee is weaker
+//	                          than the algorithm tolerates (see WithAllowFaults)
 var (
-	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
-	ErrUnknownLanguage  = lang.ErrUnknownLanguage
-	ErrUnknownSchedule  = ring.ErrUnknownSchedule
-	ErrCanceled         = ring.ErrCanceled
-	ErrClosed           = errors.New("ringlang: client is closed")
+	ErrUnknownAlgorithm     = core.ErrUnknownAlgorithm
+	ErrUnknownLanguage      = lang.ErrUnknownLanguage
+	ErrUnknownSchedule      = ring.ErrUnknownSchedule
+	ErrCanceled             = ring.ErrCanceled
+	ErrClosed               = errors.New("ringlang: client is closed")
+	ErrDeliveryNotTolerated = core.ErrDeliveryNotTolerated
 )
 
 // Client is a long-lived handle on one recognition algorithm under one
@@ -46,14 +49,15 @@ var (
 // idempotent and safe to race with in-flight Batch/Stream calls (it waits
 // for them to drain before releasing the pool).
 type Client struct {
-	rec      core.Recognizer
-	engine   ring.Engine
-	schedule string
-	seed     int64
-	workers  int
-	trace    bool
-	presize  int
-	prefix   *core.PrefixCache
+	rec         core.Recognizer
+	engine      ring.Engine
+	schedule    string
+	seed        int64
+	workers     int
+	trace       bool
+	presize     int
+	prefix      *core.PrefixCache
+	allowFaults bool
 
 	mu       sync.Mutex
 	pool     *exec.Pool
@@ -66,10 +70,24 @@ type Option func(*Client)
 
 // WithSchedule selects the delivery schedule by name — one of
 // ScheduleNames(): "sequential", "random", "round-robin", "adversarial",
-// "concurrent", "sharded". The default is sequential. The paper's bounds hold
-// under every schedule; sweeping this knob is how that is checked.
+// "concurrent", "sharded", plus the fault axis "lossy", "duplicating",
+// "crash-restart", "crash-repair". The default is sequential. The paper's
+// bounds hold under every exactly-once schedule; sweeping this knob is how
+// that is checked. Fault schedules whose delivery guarantee is weaker than
+// exactly-once (see ring.ScheduleDeliveryGuarantee) refuse to run a raw
+// recognizer with ErrDeliveryNotTolerated unless WithAllowFaults opts in.
 func WithSchedule(name string) Option {
 	return func(c *Client) { c.schedule = name }
+}
+
+// WithAllowFaults lets runs proceed when the schedule's delivery guarantee
+// (at-least-once "duplicating", crash-prone "crash-repair") is weaker than
+// the algorithm tolerates, instead of refusing with ErrDeliveryNotTolerated.
+// The run then executes faithfully under the faulty network and its outcome —
+// possibly a verdict the language oracle contradicts, or a typed run error —
+// is the measurement. Report.Faults carries the injected-fault accounting.
+func WithAllowFaults(allow bool) Option {
+	return func(c *Client) { c.allowFaults = allow }
 }
 
 // WithSeed sets the seed driving randomized schedules (WithSchedule("random")).
@@ -261,11 +279,12 @@ func (c *Client) Recognize(ctx context.Context, word Word) (*Report, error) {
 	if closed {
 		return nil, ErrClosed
 	}
-	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix})
+	res, err := core.Run(c.rec, word, core.RunOptions{Engine: c.engine, Ctx: ctx, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix, AllowFaults: c.allowFaults})
 	if err != nil {
 		return nil, fmt.Errorf("ringlang: %w", err)
 	}
 	report := c.newReport(word, res.Verdict, res.Stats)
+	report.Faults = res.Faults
 	report.Trace = res.Trace
 	return report, nil
 }
@@ -369,7 +388,7 @@ func (c *Client) Stream(ctx context.Context, words []Word) iter.Seq2[int, Result
 func (c *Client) jobs(words []Word) []exec.Job {
 	jobs := make([]exec.Job, len(words))
 	for i, w := range words {
-		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix}
+		jobs[i] = exec.Job{Rec: c.rec, Word: w, Engine: c.engine, RecordTrace: c.trace, Presize: c.presize, Prefix: c.prefix, AllowFaults: c.allowFaults}
 	}
 	return jobs
 }
@@ -380,6 +399,7 @@ func (c *Client) result(word Word, r exec.Result) Result {
 		return Result{Err: fmt.Errorf("ringlang: %w", r.Err)}
 	}
 	report := c.newReport(word, r.Verdict, r.Stats)
+	report.Faults = r.Faults
 	report.Trace = r.Trace
 	return Result{Report: report}
 }

@@ -53,6 +53,21 @@ func TestClientMatchesV1Wrappers(t *testing.T) {
 			if err != nil {
 				t.Fatalf("schedule %q: %v", schedule, err)
 			}
+			if ScheduleDeliveryGuarantee(schedule) != DeliveryExactlyOnce {
+				// Both surfaces refuse a raw recognizer under weaker-than-
+				// exactly-once delivery with the same typed error.
+				_, v1Err := Recognize("three-counters", "", words[0], opts)
+				_, v2Err := client.Recognize(ctx, words[0])
+				if !errors.Is(v1Err, ErrDeliveryNotTolerated) || !errors.Is(v2Err, ErrDeliveryNotTolerated) {
+					t.Errorf("%q/%d: v1=%v v2=%v, want ErrDeliveryNotTolerated from both", schedule, seed, v1Err, v2Err)
+				}
+				for i, r := range client.Batch(ctx, words) {
+					if !errors.Is(r.Err, ErrDeliveryNotTolerated) {
+						t.Errorf("%q/%d batch word %d: %v, want ErrDeliveryNotTolerated", schedule, seed, i, r.Err)
+					}
+				}
+				continue
+			}
 			for _, w := range words {
 				v1, err := Recognize("three-counters", "", w, opts)
 				if err != nil {

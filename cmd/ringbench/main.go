@@ -1,4 +1,4 @@
-// Command ringbench regenerates the experiment tables (E1–E16, A1–A3).
+// Command ringbench regenerates the experiment tables (E1–E17, A1–A3).
 //
 // Usage:
 //
@@ -8,7 +8,8 @@
 //	ringbench -e E13        # the full-factorial schedule sweep
 //	ringbench -schedule adversarial -e E1   # rerun a sweep under another schedule
 //	ringbench -workers 0 -e E13             # fan sweep cells over all CPUs
-//	ringbench -e E15,E16 -json BENCH_engine.json  # engine sweeps, machine-readable
+//	ringbench -e E17         # the fault axis: lossy/duplicating/crash + elect-then-recognize
+//	ringbench -e E15,E16,E17 -json BENCH_engine.json  # engine sweeps, machine-readable
 //	ringbench -list         # list experiments plus the algorithm/language/schedule catalogs
 //
 // -workers selects how many goroutines the sweeps fan their (size × schedule)
@@ -55,16 +56,16 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list experiments and the algorithm/language/schedule catalogs, then exit")
 		experiment = fs.String("e", "", "comma-separated experiment identifiers (default: all)")
 		plot       = fs.Bool("plot", false, "render the headline log-log scaling figure and exit")
-		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (sequential, random, round-robin, adversarial, concurrent)")
-		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
+		schedule   = fs.String("schedule", "", "delivery schedule for sweeps that do not pin their own engine (see ringbench -list)")
+		seed       = fs.Int64("seed", 0, "seed for seeded schedules (random and the fault schedules)")
 		workers    = fs.Int("workers", 1, "worker goroutines for sweep fan-out (1 = serial, 0 = one per CPU)")
-		jsonPath   = fs.String("json", "", "write the machine-readable records of the experiments that produce them (E15, E16) to this path")
+		jsonPath   = fs.String("json", "", "write the machine-readable records of the experiments that produce them (E15, E16, E17) to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *seed != 0 && *schedule != "random" && *schedule != "random-order" {
-		return fmt.Errorf("-seed only takes effect with -schedule random (got %q)", *schedule)
+	if *seed != 0 && !ringlang.ScheduleUsesSeed(*schedule) {
+		return fmt.Errorf("-seed only takes effect with a seeded -schedule (random or a fault schedule; got %q)", *schedule)
 	}
 	if *schedule != "" {
 		if err := bench.SetDefaultSchedule(*schedule, *seed); err != nil {

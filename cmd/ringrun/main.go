@@ -59,7 +59,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		word       = fs.String("word", "", "the pattern on the ring (one letter per processor, leader first)")
 		engineName = fs.String("engine", "sequential", "delivery schedule / engine (see -list)")
 		schedule   = fs.String("schedule", "", "synonym for -engine; takes precedence when both are set")
-		seed       = fs.Int64("seed", 0, "seed for randomized schedules")
+		seed       = fs.Int64("seed", 0, "seed for seeded schedules (random and the fault schedules)")
 		withTrace  = fs.Bool("trace", false, "print per-execution analysis (passes, token property, information states)")
 		list       = fs.Bool("list", false, "list algorithm, language and schedule names and exit")
 		words      = fs.String("words", "", "comma-separated words to run as a parallel batch (instead of -word)")
@@ -94,8 +94,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *schedule != "" {
 		name = *schedule
 	}
-	if *seed != 0 && name != "random" && name != "random-order" {
-		return fmt.Errorf("-seed only takes effect with the random schedule (got %q)", name)
+	if *seed != 0 && !ringlang.ScheduleUsesSeed(name) {
+		return fmt.Errorf("-seed only takes effect with a seeded schedule (random or a fault schedule; got %q)", name)
 	}
 	client, err := ringlang.NewClient(*algorithm, *language,
 		ringlang.WithSchedule(name),
@@ -126,6 +126,12 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	fmt.Fprintf(out, "messages  : %d\n", report.Messages)
 	fmt.Fprintf(out, "bits      : %d  (bits/n = %.2f, max message = %d bits)\n",
 		report.Bits, report.BitsPerProcessor, report.MaxMessageBits)
+	if f := report.Faults; f != nil {
+		// Fault schedules report the transport overhead the accounting above
+		// deliberately excludes: the totals are what the algorithm sent.
+		fmt.Fprintf(out, "faults    : dropped=%d retransmit=%db duplicates=%d (+%db) crashed=%v rerouted=%d deferred=%d\n",
+			f.Dropped, f.RetransmitBits, f.Duplicates, f.DuplicateBits, f.Crashed, f.Rerouted, f.Deferred)
+	}
 	if *withTrace {
 		res := &ring.Result{Verdict: report.Verdict, Stats: report.Stats, Trace: report.Trace}
 		analysis, err := trace.BuildReport(res, traceInputs(w))

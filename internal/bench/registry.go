@@ -103,6 +103,16 @@ func Experiments() []Experiment {
 				}
 				return ExperimentE16(sizes, s)
 			}},
+		{ID: "E17", Description: "fault axis: lossy/duplicating/crash schedules + elect-then-recognize overhead",
+			Run: func(s Suite) (*Table, error) {
+				sizes := FaultSizes
+				if s == SuiteQuick {
+					// Two CI-speed sizes; the fault invariants the sweep
+					// hard-checks are size-independent.
+					sizes = FaultSizes[:2]
+				}
+				return ExperimentE17(sizes)
+			}},
 		{ID: "A1", Description: "ablation: counter encodings",
 			Run: func(s Suite) (*Table, error) { return ExperimentA1(scale(HierarchySizes, s)) }},
 		{ID: "A2", Description: "ablation: DFA minimization",

@@ -26,7 +26,11 @@ func (v ScheduleVariant) Label() string {
 
 // ScheduleDimension is the schedule axis experiments sweep, alongside the
 // algorithm and ring-size axes: every built-in schedule, with two seeds for
-// the randomized one.
+// the randomized one. The exactly-once fault schedules ride along — their
+// drops, retransmissions and restarts are transport overhead outside the
+// accounted bits, so their columns must agree with the reliable ones. (The
+// weaker fault schedules, duplicating and crash-repair, live in E17: raw
+// algorithms refuse them.)
 func ScheduleDimension() []ScheduleVariant {
 	return []ScheduleVariant{
 		{Schedule: "sequential"},
@@ -35,6 +39,8 @@ func ScheduleDimension() []ScheduleVariant {
 		{Schedule: "round-robin"},
 		{Schedule: "adversarial"},
 		{Schedule: "concurrent"},
+		{Schedule: "lossy", Seed: 1},
+		{Schedule: "crash-restart", Seed: 1},
 	}
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+
+	"ringlang/internal/lang"
+	"ringlang/internal/ring"
+)
+
+// ErrDeliveryNotTolerated is returned by Run when the engine's delivery
+// guarantee (see ring.EngineDeliveryGuarantee) is weaker than what the
+// recognizer tolerates and RunOptions.AllowFaults is unset. This is the
+// typed classification of "this algorithm would silently miscount under
+// this network": the paper's recognizers assume exactly-once FIFO links, so
+// running one under at-least-once or crash-prone delivery is refused rather
+// than allowed to produce a plausible wrong verdict.
+var ErrDeliveryNotTolerated = errors.New("core: recognizer does not tolerate the schedule's delivery guarantee")
+
+// DeliveryTolerant is implemented by recognizers that remain correct under
+// delivery guarantees weaker than the paper's exactly-once model — for
+// example WithDedup-wrapped recognizers, which absorb at-least-once
+// delivery.
+type DeliveryTolerant interface {
+	// ToleratesDelivery reports whether the recognizer's verdict stays
+	// correct under the given delivery guarantee.
+	ToleratesDelivery(g ring.DeliveryGuarantee) bool
+}
+
+// Tolerates reports whether the recognizer is correct under the given
+// delivery guarantee: every recognizer tolerates the paper's exactly-once
+// model, anything weaker must be declared via DeliveryTolerant.
+func Tolerates(rec Recognizer, g ring.DeliveryGuarantee) bool {
+	if g == ring.ExactlyOnce {
+		return true
+	}
+	if dt, ok := rec.(DeliveryTolerant); ok {
+		return dt.ToleratesDelivery(g)
+	}
+	return false
+}
+
+// WithDedup wraps a recognizer with the alternating-bit deduplication layer
+// (ring.WithDedup on every node), making it tolerate at-least-once delivery
+// at a cost of one extra bit per message. The wrapped recognizer reports
+// identical verdicts AND identical Stats under every schedule including the
+// duplicating one — redeliveries are swallowed by the wrapper and were never
+// sent by the algorithm, so they appear only in Result.Faults.
+//
+// The wrapper does not tolerate crash-prone delivery: deduplication cannot
+// recover a crashed processor's letter.
+func WithDedup(rec Recognizer) Recognizer {
+	return &dedupRecognizer{inner: rec, name: rec.Name() + "+dedup"}
+}
+
+type dedupRecognizer struct {
+	inner Recognizer
+	// name is built once at wrap time: Name is called from hot run paths
+	// (cache keys, sweep rows) and must not concatenate per call.
+	name string
+}
+
+var _ DeliveryTolerant = (*dedupRecognizer)(nil)
+
+// Name implements Recognizer; the suffix keeps dedup-wrapped rows
+// distinguishable in reports and sweeps.
+func (d *dedupRecognizer) Name() string { return d.name }
+
+// Language implements Recognizer.
+func (d *dedupRecognizer) Language() lang.Language { return d.inner.Language() }
+
+// Mode implements Recognizer.
+func (d *dedupRecognizer) Mode() ring.Mode { return d.inner.Mode() }
+
+// NewNodes implements Recognizer.
+func (d *dedupRecognizer) NewNodes(word lang.Word) ([]ring.Node, error) {
+	nodes, err := d.inner.NewNodes(word)
+	if err != nil {
+		return nil, err
+	}
+	return ring.WithDedupAll(nodes), nil
+}
+
+// ToleratesDelivery implements DeliveryTolerant.
+func (d *dedupRecognizer) ToleratesDelivery(g ring.DeliveryGuarantee) bool {
+	return g == ring.ExactlyOnce || g == ring.AtLeastOnce
+}

@@ -74,6 +74,12 @@ type RunOptions struct {
 	// the previous run's ring is relabelled instead of reallocated. Like
 	// State, a NodeReuse belongs to one worker at a time.
 	Reuse *NodeReuse
+	// AllowFaults lets the run proceed when the engine's delivery guarantee
+	// is weaker than the recognizer tolerates (see ErrDeliveryNotTolerated).
+	// The run then executes faithfully under the faulty network and its
+	// outcome — a verdict the language oracle may contradict, ErrNoVerdict,
+	// ErrAlreadyDecided, an algorithm decode error — is the measurement.
+	AllowFaults bool
 }
 
 // engine resolves the options to a concrete engine.
@@ -111,6 +117,10 @@ func Run(rec Recognizer, word lang.Word, opts RunOptions) (*ring.Result, error) 
 	engine, err := opts.engine()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if g := ring.EngineDeliveryGuarantee(engine); !opts.AllowFaults && !Tolerates(rec, g) {
+		return nil, fmt.Errorf("%w: %s under %s delivery (engine %s); wrap the recognizer with WithDedup or set RunOptions.AllowFaults",
+			ErrDeliveryNotTolerated, rec.Name(), g, engine.Name())
 	}
 	cfg := ring.Config{
 		Mode:           rec.Mode(),

@@ -11,6 +11,7 @@ package core
 // FIFO delivery, which the asynchronous model does not grant.
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -38,10 +39,19 @@ func scheduleAxis(t *testing.T) []ring.Engine {
 	for _, workers := range []int{2, 3, 8} {
 		engines = append(engines, ring.NewShardedEngineWorkers(workers))
 	}
+	// Every named schedule joins the axis by classification, not by name:
+	// exactly-once delivery is precisely the guarantee under which the
+	// bit-identity property is stated. Fault schedules that only delay or
+	// retransmit (lossy, crash-restart) are therefore swept here too;
+	// at-least-once and crash-prone delivery have their own property test
+	// (fault_property_test.go), because bit-identity is not promised there.
 	for _, name := range ring.ScheduleNames() {
 		eng, err := ring.NewEngineByName(name, 17)
 		if err != nil {
 			t.Fatalf("schedule %q from ScheduleNames does not resolve: %v", name, err)
+		}
+		if ring.ScheduleDeliveryGuarantee(name) != ring.ExactlyOnce {
+			continue
 		}
 		engines = append(engines, eng)
 	}
@@ -99,6 +109,14 @@ func TestRunOptionsScheduleSelection(t *testing.T) {
 	}
 	for _, name := range ring.ScheduleNames() {
 		res, err := Run(rec, word, RunOptions{Schedule: name, Seed: 3})
+		if ring.ScheduleDeliveryGuarantee(name) != ring.ExactlyOnce {
+			// The raw recognizer does not tolerate weaker-than-exactly-once
+			// delivery; selecting such a schedule must refuse, typed.
+			if !errors.Is(err, ErrDeliveryNotTolerated) {
+				t.Errorf("schedule %q: got %v, want ErrDeliveryNotTolerated", name, err)
+			}
+			continue
+		}
 		if err != nil {
 			t.Fatalf("schedule %q: %v", name, err)
 		}

@@ -52,6 +52,9 @@ type Outcome struct {
 	WinnerID uint64
 	// Stats is the engine's bit/message accounting for the run.
 	Stats *ring.Stats
+	// Faults is the engine's fault accounting; nil under every reliable
+	// schedule (see ring.Result.Faults).
+	Faults *ring.FaultReport
 }
 
 // Errors reported by Run.
@@ -60,7 +63,28 @@ var (
 	ErrNoWinner     = errors.New("election: no processor was elected")
 	ErrManyWinners  = errors.New("election: more than one processor was elected")
 	ErrDisagreement = errors.New("election: processors disagree on the winner")
+	// ErrDeliveryNotTolerated is returned when the engine's delivery
+	// guarantee is weaker than the protocol tolerates and neither Dedup nor
+	// AllowFaults was set (see RunOptions).
+	ErrDeliveryNotTolerated = errors.New("election: protocol does not tolerate the schedule's delivery guarantee")
 )
+
+// RunOptions configures RunWith beyond the protocol and identifiers.
+type RunOptions struct {
+	// Engine to execute on; nil means the deterministic sequential engine.
+	Engine ring.Engine
+	// Dedup wraps every processor with the alternating-bit deduplication
+	// layer (ring.WithDedup), making the protocol tolerate at-least-once
+	// delivery at one extra bit per message.
+	Dedup bool
+	// AllowFaults lets the run proceed when the engine's delivery guarantee
+	// is weaker than the protocol tolerates. The outcome is then whatever
+	// the faulty network produces — possibly a typed failure: ErrNoWinner,
+	// ErrManyWinners, ErrDisagreement, or the engine's own
+	// ErrMessageBudgetExceeded when a crashed would-be winner's candidate
+	// circulates forever.
+	AllowFaults bool
+}
 
 // electionNode is the common read-back interface of both protocols' nodes.
 type electionNode interface {
@@ -75,6 +99,16 @@ type electionNode interface {
 //
 //ring:deterministic
 func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
+	return RunWith(p, ids, RunOptions{Engine: engine})
+}
+
+// RunWith is Run with fault-axis options: deduplication for at-least-once
+// delivery, and crash awareness — when the engine reports crashed processors
+// (ring.Result.Faults), the agreement check skips them, because a crashed
+// processor legitimately never learns the winner.
+//
+//ring:deterministic
+func RunWith(p Protocol, ids []uint64, opts RunOptions) (*Outcome, error) {
 	if len(ids) == 0 {
 		return nil, ring.ErrNoProcessors
 	}
@@ -103,9 +137,25 @@ func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
 		nodes[i] = n
 		inspect[i] = n
 	}
+	if opts.Dedup {
+		nodes = ring.WithDedupAll(nodes)
+	}
 
+	engine := opts.Engine
 	if engine == nil {
 		engine = ring.NewSequentialEngine()
+	}
+	switch g := ring.EngineDeliveryGuarantee(engine); g {
+	case ring.AtLeastOnce:
+		if !opts.Dedup && !opts.AllowFaults {
+			return nil, fmt.Errorf("%w: %s under %s delivery (engine %s); set Dedup or AllowFaults",
+				ErrDeliveryNotTolerated, p, g, engine.Name())
+		}
+	case ring.CrashProne:
+		if !opts.AllowFaults {
+			return nil, fmt.Errorf("%w: %s under %s delivery (engine %s); set AllowFaults",
+				ErrDeliveryNotTolerated, p, g, engine.Name())
+		}
 	}
 	res, err := engine.Run(ring.Config{
 		Mode:       p.Mode(),
@@ -115,8 +165,24 @@ func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
 		return nil, fmt.Errorf("election: %s: %w", p, err)
 	}
 
-	outcome := &Outcome{WinnerIndex: -1, Stats: res.Stats}
+	// Only a crash the network never repairs removes a processor from the
+	// agreement check: under crash-prone delivery the victim is spliced out
+	// mid-protocol and legitimately never learns the winner. A restarted
+	// processor (crash-restart — exactly-once, a pure delay) recovers with
+	// its state intact and answers for itself like everyone else.
+	crashed := make(map[int]bool)
+	if res.Faults != nil && ring.EngineDeliveryGuarantee(engine) == ring.CrashProne {
+		for _, proc := range res.Faults.Crashed {
+			crashed[proc] = true
+		}
+	}
+	outcome := &Outcome{WinnerIndex: -1, Stats: res.Stats, Faults: res.Faults}
 	for i, n := range inspect {
+		if crashed[i] {
+			// A crashed processor's state is frozen mid-protocol; it cannot
+			// claim (or be held to) anything.
+			continue
+		}
 		if n.isElected() {
 			if outcome.WinnerIndex >= 0 {
 				return nil, ErrManyWinners
@@ -129,6 +195,9 @@ func Run(p Protocol, ids []uint64, engine ring.Engine) (*Outcome, error) {
 		return nil, ErrNoWinner
 	}
 	for i, n := range inspect {
+		if crashed[i] {
+			continue
+		}
 		id, ok := n.knownLeader()
 		if !ok || id != outcome.WinnerID {
 			return nil, fmt.Errorf("%w: processor %d", ErrDisagreement, i)

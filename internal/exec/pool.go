@@ -30,6 +30,10 @@ type Job struct {
 	// Check cross-checks the verdict against the language's own membership
 	// predicate (core.Check); otherwise the run is core.Run.
 	Check bool
+	// AllowFaults lets the job run when the engine's delivery guarantee is
+	// weaker than the recognizer tolerates, instead of refusing with
+	// core.ErrDeliveryNotTolerated (see core.RunOptions.AllowFaults).
+	AllowFaults bool
 	// RecordTrace records the full event trace of the run. The returned
 	// trace is freshly built per run and safe to retain.
 	RecordTrace bool
@@ -50,6 +54,10 @@ type Job struct {
 type Result struct {
 	Verdict ring.Verdict
 	Stats   *ring.Stats
+	// Faults is the run's fault accounting — nil under reliable schedules,
+	// always non-nil under fault-injecting ones (see ring.Result.Faults).
+	// Like Stats it is freshly built per run and safe to retain.
+	Faults *ring.FaultReport
 	// Trace is the recorded event sequence (nil unless Job.RecordTrace).
 	Trace ring.Trace
 	Err   error
@@ -250,7 +258,7 @@ func (w *worker) run(ctx context.Context, job Job) Result {
 		st = ring.NewRunState()
 		w.states[engine] = st
 	}
-	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace, Presize: job.Presize, Prefix: job.Prefix, Reuse: w.reuse}
+	opts := core.RunOptions{Engine: engine, State: st, Ctx: ctx, RecordTrace: job.RecordTrace, Presize: job.Presize, Prefix: job.Prefix, Reuse: w.reuse, AllowFaults: job.AllowFaults}
 	var res *ring.Result
 	if job.Check {
 		res, err = core.Check(job.Rec, job.Word, opts)
@@ -261,6 +269,6 @@ func (w *worker) run(ctx context.Context, job Job) Result {
 		return Result{Err: err}
 	}
 	// Snapshot: res.Stats aliases st and the next run on this worker resets
-	// it. The trace does not — each run appends to a fresh slice.
-	return Result{Verdict: res.Verdict, Stats: res.Stats.Clone(), Trace: res.Trace}
+	// it. The trace and fault report do not — both are freshly built per run.
+	return Result{Verdict: res.Verdict, Stats: res.Stats.Clone(), Faults: res.Faults, Trace: res.Trace}
 }

@@ -1,0 +1,104 @@
+package ring
+
+import (
+	"fmt"
+
+	"ringlang/internal/bits"
+)
+
+// WithDedup wraps a node with an alternating-bit deduplication layer, the
+// classical fix for at-least-once links: every outgoing payload is prefixed
+// with a one-bit sequence number that alternates per send direction, and an
+// arriving payload whose bit repeats the previous one on that link is a
+// duplicate and is dropped without waking the inner node.
+//
+// One bit suffices because the duplicating schedule (like a retransmitting
+// sender) redelivers a message before the link's next message: a duplicate
+// is always adjacent to its original on its link, so equal consecutive bits
+// identify it exactly. The cost is one extra bit per message, which the
+// engine accounts like any other payload bit — a dedup-wrapped run has
+// identical Stats under every schedule, duplicating included, because
+// duplicates are delivered by the network, not sent by the algorithm.
+//
+// Wrapped payloads are built on fresh buffers, never on the Context scratch
+// writer, so wrapping is safe for nodes with several sends in flight (the
+// election protocols); the price is one allocation per send, which keeps the
+// wrapper off the reliable hot path and on the fault axis where it belongs.
+func WithDedup(n Node) Node {
+	return &dedupNode{inner: n, lastIn: [2]int8{-1, -1}}
+}
+
+// WithDedupAll wraps every node of a ring with WithDedup.
+func WithDedupAll(nodes []Node) []Node {
+	wrapped := make([]Node, len(nodes))
+	for i, n := range nodes {
+		wrapped[i] = WithDedup(n)
+	}
+	return wrapped
+}
+
+type dedupNode struct {
+	inner Node
+	// lastIn is the last sequence bit accepted per arrival direction
+	// (index Direction-1); -1 before the first message. On a ring each
+	// arrival direction maps to exactly one sender, so per-direction state
+	// is per-link state.
+	lastIn [2]int8
+	// outBit is the next sequence bit to stamp per send direction.
+	outBit [2]bool
+}
+
+// Start implements Node.
+func (n *dedupNode) Start(ctx *Context) ([]Send, error) {
+	sends, err := n.inner.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return n.frame(sends), nil
+}
+
+// Receive implements Node.
+func (n *dedupNode) Receive(ctx *Context, from Direction, payload bits.String) ([]Send, error) {
+	if payload.Len() == 0 {
+		return nil, fmt.Errorf("ring: dedup: empty payload carries no sequence bit")
+	}
+	r := bits.NewReader(payload)
+	seq, err := r.ReadBool()
+	if err != nil {
+		return nil, fmt.Errorf("ring: dedup: read sequence bit: %w", err)
+	}
+	bit := int8(0)
+	if seq {
+		bit = 1
+	}
+	if n.lastIn[from-1] == bit {
+		// The alternating bit repeated: a redelivery of the message we
+		// already processed. Swallow it.
+		return nil, nil
+	}
+	n.lastIn[from-1] = bit
+	inner, err := r.ReadString(payload.Len() - 1)
+	if err != nil {
+		return nil, fmt.Errorf("ring: dedup: unframe payload: %w", err)
+	}
+	sends, err := n.inner.Receive(ctx, from, inner)
+	if err != nil {
+		return nil, err
+	}
+	return n.frame(sends), nil
+}
+
+// frame prefixes each send's payload with the direction's next sequence bit,
+// on a fresh buffer (the inner payload may alias the context scratch writer,
+// which stays untouched).
+func (n *dedupNode) frame(sends []Send) []Send {
+	for i := range sends {
+		dir := sends[i].Dir
+		var w bits.Writer
+		w.WriteBool(n.outBit[dir-1])
+		w.WriteString(sends[i].Payload)
+		sends[i].Payload = w.String()
+		n.outBit[dir-1] = !n.outBit[dir-1]
+	}
+	return sends
+}

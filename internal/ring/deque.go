@@ -314,6 +314,10 @@ func (l *linkQueues) pop(link int) Delivery {
 // empty reports whether the link's queue holds no message.
 func (l *linkQueues) empty(link int) bool { return l.head[link] < 0 }
 
+// peek returns the head payload of the link without dequeuing it. The link
+// must be non-empty.
+func (l *linkQueues) peek(link int) bits.String { return l.payload[l.head[link]] }
+
 // retainedLinks and retainedEntries expose current capacities to the
 // shrink-policy tests.
 func (l *linkQueues) retainedLinks() int   { return cap(l.head) }

@@ -232,24 +232,42 @@ func runLoopFrom(cfg Config, nodes []Node, sched Scheduler, st *RunState, run Ch
 	if cfg.RequireVerdict && lp.verdict == VerdictNone {
 		return nil, ErrNoVerdict
 	}
-	return &Result{Verdict: lp.verdict, Stats: &lp.stats, Trace: lp.trace}, nil
+	res := &Result{Verdict: lp.verdict, Stats: &lp.stats, Trace: lp.trace}
+	if fr, ok := sched.(faultReporter); ok {
+		// Fault-injecting schedules attach their accounting; the snapshot is
+		// independent of the scheduler, which the next run resets.
+		//ringvet:ignore hotpathalloc -- once per completed run, after the delivery loop; reliable schedules skip it entirely
+		res.Faults = fr.takeFaultReport()
+	}
+	return res, nil
 }
 
 // ScheduledEngine drives the shared event loop with a fresh scheduler per
 // run, so one engine value stays reusable (and as goroutine-safe as the seed
 // engines) no matter how much state its schedule keeps.
 type ScheduledEngine struct {
-	name    string
-	factory func() Scheduler
+	name      string
+	factory   func() Scheduler
+	guarantee DeliveryGuarantee
 }
 
 // NewScheduledEngine wraps a scheduler factory as an Engine. This is the
 // extension point for schedules the built-in names do not cover: implement
 // Scheduler, wrap it here, and every recognizer, experiment and test can run
-// under it — no fourth engine copy required.
+// under it — no fourth engine copy required. The engine inherits the
+// scheduler's delivery guarantee (probed from one factory call); schedulers
+// that declare none uphold the exactly-once model.
 func NewScheduledEngine(name string, factory func() Scheduler) *ScheduledEngine {
-	return &ScheduledEngine{name: name, factory: factory}
+	e := &ScheduledEngine{name: name, factory: factory}
+	if g, ok := factory().(DeliveryGuaranteed); ok {
+		e.guarantee = g.DeliveryGuarantee()
+	}
+	return e
 }
+
+// DeliveryGuarantee implements DeliveryGuaranteed: the guarantee of the
+// engine's scheduler (see EngineDeliveryGuarantee).
+func (e *ScheduledEngine) DeliveryGuarantee() DeliveryGuarantee { return e.guarantee }
 
 var _ StatefulEngine = (*ScheduledEngine)(nil)
 

@@ -261,18 +261,25 @@ func (s *adversarialScheduler) popOldest() int {
 // NewEngineByName (and hence by every -engine/-schedule flag and the facade's
 // Options.Schedule). "concurrent" and "sharded" are special: they name the
 // goroutine-per-processor and segment-sharded engines rather than
-// scheduler-backed ones.
+// scheduler-backed ones. The tail of the list is the fault axis — schedules
+// that vary delivery fate, not just delivery order (see fault.go); use
+// ScheduleDeliveryGuarantee to classify what each one still promises.
 func ScheduleNames() []string {
-	return []string{"sequential", "random", "round-robin", "adversarial", "concurrent", "sharded"}
+	return []string{
+		"sequential", "random", "round-robin", "adversarial", "concurrent", "sharded",
+		"lossy", "duplicating", "crash-restart", "crash-repair",
+	}
 }
 
 // CanonicalScheduleName folds the accepted aliases — "fifo" for
 // "sequential", "random-order" for "random", "bounded-delay" for
-// "adversarial" — onto the canonical names of ScheduleNames. Unknown names
-// (and the empty string) pass through unchanged; lookup functions remain the
-// validators. Anything that keys state by schedule name (the serving tier's
-// memo cache, a client pool) should key by the canonical name so aliases
-// converge on one entry.
+// "adversarial", "drop" for "lossy", "at-least-once" for "duplicating",
+// "crash" for "crash-repair" and "self-stabilizing" for "crash-restart" —
+// onto the canonical names of ScheduleNames. Unknown names (and the empty
+// string) pass through unchanged; lookup functions remain the validators.
+// Anything that keys state by schedule name (the serving tier's memo cache,
+// a client pool) should key by the canonical name so aliases converge on one
+// entry.
 func CanonicalScheduleName(name string) string {
 	switch name {
 	case "fifo":
@@ -281,18 +288,49 @@ func CanonicalScheduleName(name string) string {
 		return "random"
 	case "bounded-delay":
 		return "adversarial"
+	case "drop":
+		return "lossy"
+	case "at-least-once":
+		return "duplicating"
+	case "crash":
+		return "crash-repair"
+	case "self-stabilizing":
+		return "crash-restart"
 	default:
 		return name
 	}
 }
 
-// ScheduleUsesSeed reports whether the named schedule's delivery order
-// depends on the seed. Only randomized delivery does; results under every
-// other built-in schedule are seed-independent, which is what lets the
+// ScheduleUsesSeed reports whether the named schedule's execution depends on
+// the seed. Randomized delivery order does, and so does every fault
+// schedule: their drop/duplicate/crash fates are seeded draws. Results under
+// the remaining schedules are seed-independent, which is what lets the
 // serving tier memoize them under one seed. A new seeded schedule must be
 // added here as well as to the factory table below.
 func ScheduleUsesSeed(name string) bool {
-	return CanonicalScheduleName(name) == "random"
+	switch CanonicalScheduleName(name) {
+	case "random", "lossy", "duplicating", "crash-restart", "crash-repair":
+		return true
+	}
+	return false
+}
+
+// ScheduleDeliveryGuarantee classifies the delivery guarantee of a schedule
+// name (canonical names and aliases of ScheduleNames): what the network
+// still promises once the schedule has had its way. Everything predating the
+// fault axis — and the lossy and crash-restart schedules, whose faults are
+// absorbed by the link layer — upholds the paper's exactly-once model;
+// consumers that require bit-identical results across schedules should
+// filter on ExactlyOnce rather than enumerate names. Unknown names classify
+// as ExactlyOnce; the lookup functions remain the validators.
+func ScheduleDeliveryGuarantee(name string) DeliveryGuarantee {
+	switch CanonicalScheduleName(name) {
+	case "duplicating":
+		return AtLeastOnce
+	case "crash-repair":
+		return CrashProne
+	}
+	return ExactlyOnce
 }
 
 // schedulerFactoryByName is the single name → scheduler table behind both
@@ -311,6 +349,14 @@ func schedulerFactoryByName(name string, seed int64) (func() Scheduler, error) {
 		return NewRoundRobinScheduler, nil
 	case "adversarial":
 		return func() Scheduler { return NewAdversarialScheduler(DefaultAdversarialBound) }, nil
+	case "lossy":
+		return func() Scheduler { return NewLossyScheduler(seed, DefaultDropRate, DefaultMaxRetransmits) }, nil
+	case "duplicating":
+		return func() Scheduler { return NewDuplicatingScheduler(seed, DefaultDuplicateRate) }, nil
+	case "crash-restart":
+		return func() Scheduler { return NewCrashRestartScheduler(seed) }, nil
+	case "crash-repair":
+		return func() Scheduler { return NewCrashRepairScheduler(seed) }, nil
 	default:
 		return nil, fmt.Errorf("%w %q (known: %s)",
 			ErrUnknownSchedule, name, strings.Join(ScheduleNames(), ", "))

@@ -295,4 +295,9 @@ type Result struct {
 	Stats *Stats
 	// Trace is the recorded event sequence (nil unless Config.RecordTrace).
 	Trace Trace
+	// Faults is the fault accounting of the run — drops, duplicates,
+	// crashes and their overheads. It is nil under every reliable schedule
+	// and always non-nil (even when all-zero) under a fault-injecting one,
+	// and is an independent snapshot, safe to retain.
+	Faults *FaultReport
 }

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestFaultScheduleSeedCacheSemantics pins the serving tier's cache-key rule
+// on the fault axis, end to end: fault schedules are seeded
+// (ring.ScheduleUsesSeed), so a lossy run must be memoized per seed — the
+// same seed repeats from cache, a different seed is a fresh engine run — and
+// the alias "drop" must converge on the same entry as "lossy".
+func TestFaultScheduleSeedCacheSemantics(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := func(schedule string, seed int64) reportPayload {
+		var got reportPayload
+		status := postJSON(t, ts.URL+"/v1/recognize",
+			runRequest{Algorithm: "three-counters", Schedule: schedule, Seed: seed, Word: "000111222"}, &got)
+		if status != http.StatusOK {
+			t.Fatalf("%s/%d: status %d", schedule, seed, status)
+		}
+		return got
+	}
+	first := req("lossy", 3)
+	if first.Cached {
+		t.Error("first lossy run reported cached=true")
+	}
+	if repeat := req("lossy", 3); !repeat.Cached {
+		t.Error("same lossy seed missed the cache; seeded schedules must memoize per seed")
+	}
+	if alias := req("drop", 3); !alias.Cached {
+		t.Error("alias \"drop\" did not converge on the \"lossy\" entry")
+	}
+	if other := req("lossy", 4); other.Cached {
+		t.Error("different lossy seed was served from seed 3's entry")
+	}
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (lossy/3, lossy/4)", st.Entries)
+	}
+	// Exactly-once fault schedules agree with the sequential verdict and
+	// bits; the fault overhead lives outside Stats.
+	seq := req("sequential", 0)
+	if first.Verdict != seq.Verdict || first.Bits != seq.Bits {
+		t.Errorf("lossy = %s/%d bits, sequential = %s/%d bits", first.Verdict, first.Bits, seq.Verdict, seq.Bits)
+	}
+}
+
+// TestFaultScheduleRefusedTyped pins the API-level classification: a schedule
+// whose delivery guarantee is weaker than the raw algorithm tolerates is a
+// 400 with a stable wire code, for single runs and per-word inside batches —
+// never a 200 with a silently wrong verdict.
+func TestFaultScheduleRefusedTyped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, schedule := range []string{"duplicating", "crash-repair", "at-least-once", "crash"} {
+		var ep errorPayload
+		status := postJSON(t, ts.URL+"/v1/recognize",
+			runRequest{Algorithm: "three-counters", Schedule: schedule, Seed: 1, Word: "001122"}, &ep)
+		if status != http.StatusBadRequest || ep.Code != "delivery-not-tolerated" {
+			t.Errorf("%s: status=%d code=%q, want 400 delivery-not-tolerated", schedule, status, ep.Code)
+		}
+	}
+	// Inside a batch the refusal is per-word and typed, like every word error.
+	var got struct {
+		Results []wordResult `json:"results"`
+	}
+	status := postJSON(t, ts.URL+"/v1/batch", runRequest{
+		Algorithm: "three-counters", Schedule: "duplicating", Seed: 1,
+		Words: []string{"001122", "000111222"},
+	}, &got)
+	if status != http.StatusOK || len(got.Results) != 2 {
+		t.Fatalf("batch status=%d results=%d", status, len(got.Results))
+	}
+	for i, r := range got.Results {
+		if r.Code != "delivery-not-tolerated" || r.Report != nil {
+			t.Errorf("batch word %d = %+v, want per-word delivery-not-tolerated", i, r)
+		}
+	}
+}
+
+// TestFaultScheduleConcurrentLoad drives concurrent fault-schedule requests
+// across distinct seeds (run under -race in CI) and checks the /healthz
+// counters stay consistent: hits + misses add up, every distinct
+// (schedule, seed) key ran exactly once, and repeats were served from cache.
+func TestFaultScheduleConcurrentLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const seeds = 4
+	const repeats = 4
+	var wg sync.WaitGroup
+	bits := make([][]int, seeds)
+	for i := range bits {
+		bits[i] = make([]int, repeats)
+	}
+	for seed := 0; seed < seeds; seed++ {
+		for rep := 0; rep < repeats; rep++ {
+			wg.Add(1)
+			go func(seed, rep int) {
+				defer wg.Done()
+				var got reportPayload
+				status := postJSON(t, ts.URL+"/v1/recognize", runRequest{
+					Algorithm: "three-counters", Schedule: "lossy", Seed: int64(seed + 1), Word: "000111222",
+				}, &got)
+				if status != http.StatusOK {
+					t.Errorf("seed %d rep %d: status %d", seed, rep, status)
+					return
+				}
+				bits[seed][rep] = got.Bits
+			}(seed, rep)
+		}
+	}
+	wg.Wait()
+	for seed := range bits {
+		for rep := 1; rep < repeats; rep++ {
+			if bits[seed][rep] != bits[seed][0] {
+				t.Errorf("seed %d: rep %d saw %d bits, rep 0 saw %d", seed, rep, bits[seed][rep], bits[seed][0])
+			}
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses != seeds {
+		t.Errorf("misses = %d, want %d (one engine run per distinct seed)", st.Misses, seeds)
+	}
+	if st.Hits != seeds*repeats-seeds {
+		t.Errorf("hits = %d, want %d", st.Hits, seeds*repeats-seeds)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status   string `json:"status"`
+		InFlight int    `json:"inflight"`
+		Hits     uint64 `json:"cacheHits"`
+		Misses   uint64 `json:"cacheMisses"`
+		Entries  int    `json:"cacheEntries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.InFlight != 0 {
+		t.Errorf("healthz after load = %+v", health)
+	}
+	if health.Hits != st.Hits || health.Misses != st.Misses || health.Entries != st.Entries {
+		t.Errorf("healthz counters %+v disagree with CacheStats %+v", health, st)
+	}
+}

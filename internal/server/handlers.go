@@ -84,6 +84,8 @@ func errorCode(err error) string {
 		return "unknown-language"
 	case errors.Is(err, ringlang.ErrUnknownSchedule):
 		return "unknown-schedule"
+	case errors.Is(err, ringlang.ErrDeliveryNotTolerated):
+		return "delivery-not-tolerated"
 	case errors.Is(err, ringlang.ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ringlang.ErrClosed):
@@ -98,7 +100,7 @@ func errorCode(err error) string {
 // the client is usually gone, but logs and tests still see a truthful code.
 func statusFor(err error) int {
 	switch errorCode(err) {
-	case "unknown-algorithm", "unknown-language", "unknown-schedule":
+	case "unknown-algorithm", "unknown-language", "unknown-schedule", "delivery-not-tolerated":
 		return http.StatusBadRequest
 	case "canceled":
 		return 499

@@ -76,6 +76,15 @@ type (
 	PrefixCache = core.PrefixCache
 	// PrefixStats is a PrefixCache's hit/miss/eviction counters.
 	PrefixStats = memo.PrefixStats
+	// FaultReport is the injected-fault accounting of a run under a fault
+	// schedule: drops and retransmitted bits (lossy), duplicates and their
+	// bits (duplicating), crashed processors plus rerouted or deferred frames
+	// (crash-repair / crash-restart). See Report.Faults.
+	FaultReport = ring.FaultReport
+	// DeliveryGuarantee classifies what a schedule still promises about
+	// delivery: exactly-once, at-least-once, or crash-prone (see
+	// ring.ScheduleDeliveryGuarantee).
+	DeliveryGuarantee = ring.DeliveryGuarantee
 )
 
 // NewPrefixCache builds a prefix-checkpoint cache bounded to roughly
@@ -117,6 +126,12 @@ type Report struct {
 	// Stats is the full accounting snapshot (per-link traffic included). It
 	// is independent of any pooled run state and safe to retain.
 	Stats *Stats
+	// Faults is the injected-fault accounting: nil under reliable schedules,
+	// always non-nil (even when all-zero) under the fault schedules "lossy",
+	// "duplicating", "crash-restart" and "crash-repair". Fault overhead lives
+	// here, never in Stats — Bits counts what the algorithm sent, so verdict
+	// and Stats stay identical across every exactly-once schedule.
+	Faults *FaultReport
 	// Trace is the recorded event sequence; nil unless the client was built
 	// with WithTrace.
 	Trace Trace
@@ -131,9 +146,10 @@ type Options struct {
 	Concurrent bool
 	// Schedule selects the delivery schedule by name — one of
 	// ScheduleNames(): "sequential", "random", "round-robin", "adversarial",
-	// "concurrent". Empty means sequential (or concurrent when Concurrent is
-	// set). The paper's bounds hold under every schedule; sweeping this knob
-	// is how that is checked.
+	// "concurrent", "sharded", "lossy", "duplicating", "crash-restart",
+	// "crash-repair". Empty means sequential (or concurrent when Concurrent is
+	// set). The paper's bounds hold under every exactly-once schedule;
+	// sweeping this knob is how that is checked.
 	Schedule string
 	// Seed drives randomized schedules (Schedule == "random").
 	Seed int64
@@ -300,4 +316,32 @@ func LanguageNames() []string {
 // Options.Schedule.
 func ScheduleNames() []string {
 	return ring.ScheduleNames()
+}
+
+// Delivery guarantees, re-exported for classifying ScheduleNames entries.
+const (
+	// DeliveryExactlyOnce: every message arrives exactly once, in per-link
+	// order — the paper's model. All verdicts and bit totals are identical
+	// across these schedules.
+	DeliveryExactlyOnce = ring.ExactlyOnce
+	// DeliveryAtLeastOnce: messages may be duplicated ("duplicating").
+	DeliveryAtLeastOnce = ring.AtLeastOnce
+	// DeliveryCrashProne: a processor may fail permanently ("crash-repair").
+	DeliveryCrashProne = ring.CrashProne
+)
+
+// ScheduleDeliveryGuarantee classifies what the named schedule still promises
+// about delivery. Schedules weaker than DeliveryExactlyOnce refuse to run raw
+// algorithms with ErrDeliveryNotTolerated unless WithAllowFaults opts in.
+func ScheduleDeliveryGuarantee(name string) DeliveryGuarantee {
+	return ring.ScheduleDeliveryGuarantee(name)
+}
+
+// ScheduleUsesSeed reports whether the named schedule's delivery order or
+// fault pattern is driven by WithSeed / Options.Seed ("random" and the fault
+// schedules). Seedless schedules ignore the seed — callers building cache
+// keys or validating flags should branch on this instead of enumerating
+// names.
+func ScheduleUsesSeed(name string) bool {
+	return ring.ScheduleUsesSeed(name)
 }

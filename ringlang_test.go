@@ -1,6 +1,9 @@
 package ringlang
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestRecognizeFacade(t *testing.T) {
 	cases := []struct {
@@ -60,6 +63,14 @@ func TestRecognizeScheduleOption(t *testing.T) {
 	}
 	for _, schedule := range ScheduleNames() {
 		report, err := Recognize("three-counters", "", word, Options{Schedule: schedule, Seed: 5})
+		if ScheduleDeliveryGuarantee(schedule) != DeliveryExactlyOnce {
+			// A raw algorithm under weaker-than-exactly-once delivery is
+			// refused, typed — never run into a silently wrong verdict.
+			if !errors.Is(err, ErrDeliveryNotTolerated) {
+				t.Errorf("schedule %q: got %v, want ErrDeliveryNotTolerated", schedule, err)
+			}
+			continue
+		}
 		if err != nil {
 			t.Fatalf("schedule %q: %v", schedule, err)
 		}
